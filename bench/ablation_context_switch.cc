@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension bench: multiprogrammed environment (the paper's "ongoing
+ * work": "prefetching issues in a multiprogrammed environment
+ * (flushing/switching the prefetch tables)").
+ *
+ * Every N references a context switch flushes the TLB, the prefetch
+ * buffer and the prefetcher's on-chip state; the bench sweeps N and
+ * reports DP and RP accuracy.  The question is how fast each
+ * mechanism re-learns: DP only needs to re-observe its handful of hot
+ * distances, while RP/MP must rebuild per-page history.
+ *
+ * Usage: ablation_context_switch [--refs N]
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+
+    const std::uint64_t intervals[] = {0, 500000, 100000, 20000};
+
+    std::printf("=== Extension: context-switch flushing (refs/app = "
+                "%llu) ===\n",
+                static_cast<unsigned long long>(options.refs));
+
+    for (Scheme scheme : {Scheme::DP, Scheme::RP, Scheme::MP}) {
+        PrefetcherSpec spec;
+        spec.scheme = scheme;
+        spec.table = TableConfig{256, TableAssoc::Direct};
+        spec.slots = 2;
+
+        TablePrinter out({"app", "no switch", "every 500k",
+                          "every 100k", "every 20k"});
+        out.caption("--- " + schemeName(scheme) +
+                    " accuracy vs context-switch interval ---");
+        for (const std::string &app : highMissRateApps()) {
+            std::vector<std::string> row = {app};
+            for (std::uint64_t interval : intervals) {
+                SimConfig config;
+                config.contextSwitchInterval = interval;
+                SimResult r = runFunctional(app, spec, options.refs,
+                                            config);
+                row.push_back(TablePrinter::num(r.accuracy(), 3));
+            }
+            out.addRow(std::move(row));
+            std::fflush(stdout);
+        }
+        out.print();
+    }
+    return 0;
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Ablation A2: the DP table-indexing variants the paper flags as
+ * future work (Section 2.5): "One could, perhaps, envision indexing
+ * this table using the PC value together with the distance, or using a
+ * set of consecutive distances."
+ *
+ * Three predictors are compared:
+ *   DP        — index by current distance (the paper's design)
+ *   DP+PC     — index by hash(PC, distance)
+ *   DP+2dist  — index by hash(previous distance, current distance)
+ *
+ * Usage: ablation_indexing [--refs N]
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/prediction_table.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/functional_sim.hh"
+#include "util/bits.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace tlbpf;
+using namespace tlbpf::bench;
+
+/** Indexing variants for the experimental distance predictor. */
+enum class IndexMode
+{
+    Distance,    ///< the paper's DP
+    PcDistance,  ///< PC hashed into the index
+    TwoDistances ///< pair of consecutive distances
+};
+
+/**
+ * Experimental distance prefetcher with pluggable index construction,
+ * built directly on the core PredictionTable to show how variants can
+ * be prototyped against the same simulator.
+ */
+class IndexedDistancePrefetcher : public Prefetcher
+{
+  public:
+    IndexedDistancePrefetcher(const TableConfig &table,
+                              std::uint32_t slots, IndexMode mode)
+        : _mode(mode), _slots(slots), _table(table)
+    {
+    }
+
+    void
+    onMiss(const TlbMiss &miss, PrefetchDecision &decision) override
+    {
+        if (!_hasPrev) {
+            _prevPage = miss.vpn;
+            _hasPrev = true;
+            return;
+        }
+        std::int64_t dist = static_cast<std::int64_t>(miss.vpn) -
+                            static_cast<std::int64_t>(_prevPage);
+        if (_hasPrevDist) {
+            Slots &slots =
+                _table.findOrInsert(key(_prevDist, _prevPrevDist,
+                                        _prevPc));
+            slots.setCapacity(_slots);
+            slots.addOrPromote(dist);
+        }
+        if (Slots *slots =
+                _table.find(key(dist, _prevDist, miss.pc))) {
+            std::size_t n =
+                std::min<std::size_t>(slots->size(), _slots);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::int64_t target =
+                    static_cast<std::int64_t>(miss.vpn) + (*slots)[i];
+                if (target >= 0)
+                    decision.targets.push_back(
+                        static_cast<Vpn>(target));
+            }
+        }
+        _prevPrevDist = _prevDist;
+        _prevDist = dist;
+        _hasPrevDist = true;
+        _prevPage = miss.vpn;
+        _prevPc = miss.pc;
+    }
+
+    void
+    reset() override
+    {
+        _table.reset();
+        _hasPrev = false;
+        _hasPrevDist = false;
+    }
+
+    std::string name() const override { return "DPx"; }
+
+    std::string
+    label() const override
+    {
+        switch (_mode) {
+          case IndexMode::Distance:
+            return "DP";
+          case IndexMode::PcDistance:
+            return "DP+PC";
+          case IndexMode::TwoDistances:
+            return "DP+2dist";
+        }
+        return "?";
+    }
+
+    HardwareProfile
+    hardwareProfile() const override
+    {
+        return HardwareProfile{"r", "variant", "On-Chip", label(), 0,
+                               std::to_string(_slots)};
+    }
+
+  private:
+    using Slots = SlotLru<std::int64_t>;
+
+    std::uint64_t
+    key(std::int64_t dist, std::int64_t prev_dist, Addr pc) const
+    {
+        switch (_mode) {
+          case IndexMode::Distance:
+            return zigZagEncode(dist);
+          case IndexMode::PcDistance:
+            return mix64(zigZagEncode(dist) ^ (pc << 20));
+          case IndexMode::TwoDistances:
+            return mix64(zigZagEncode(dist) ^
+                         (zigZagEncode(prev_dist) << 24));
+        }
+        return 0;
+    }
+
+    IndexMode _mode;
+    std::uint32_t _slots;
+    PredictionTable<Slots> _table;
+
+    Vpn _prevPage = 0;
+    Addr _prevPc = 0;
+    std::int64_t _prevDist = 0;
+    std::int64_t _prevPrevDist = 0;
+    bool _hasPrev = false;
+    bool _hasPrevDist = false;
+};
+
+double
+runVariant(const std::string &app, IndexMode mode, std::uint64_t refs)
+{
+    SimConfig config;
+    Tlb tlb(config.tlb);
+    PrefetchBuffer buffer(config.pbEntries);
+    IndexedDistancePrefetcher prefetcher(
+        TableConfig{256, TableAssoc::Direct}, 2, mode);
+
+    auto stream = buildApp(app, refs);
+    MemRef ref;
+    PrefetchDecision decision;
+    std::uint64_t misses = 0;
+    std::uint64_t pb_hits = 0;
+    while (stream->next(ref)) {
+        Vpn vpn = ref.vpn();
+        if (tlb.access(vpn))
+            continue;
+        ++misses;
+        Tick ready = 0;
+        bool hit = buffer.hitAndPromote(vpn, ready);
+        pb_hits += hit;
+        std::optional<Vpn> evicted = tlb.insert(vpn);
+        decision.clear();
+        prefetcher.onMiss(
+            TlbMiss{vpn, ref.pc, hit, evicted.value_or(kNoPage)},
+            decision);
+        for (Vpn target : decision.targets) {
+            if (target == vpn || tlb.contains(target) ||
+                buffer.contains(target))
+                continue;
+            buffer.insert(target, 0);
+        }
+    }
+    return misses ? static_cast<double>(pb_hits) /
+                        static_cast<double>(misses)
+                  : 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions options = parseBenchOptions(argc, argv);
+
+    std::printf("=== Ablation A2: DP table-indexing variants "
+                "(refs/app = %llu) ===\n",
+                static_cast<unsigned long long>(options.refs));
+
+    TablePrinter out({"app", "DP", "DP+PC", "DP+2dist"});
+    out.caption("prediction accuracy per indexing variant (r=256,D)");
+    for (const std::string &app : highMissRateApps()) {
+        out.addRow({app,
+                    TablePrinter::num(
+                        runVariant(app, IndexMode::Distance,
+                                   options.refs),
+                        3),
+                    TablePrinter::num(
+                        runVariant(app, IndexMode::PcDistance,
+                                   options.refs),
+                        3),
+                    TablePrinter::num(
+                        runVariant(app, IndexMode::TwoDistances,
+                                   options.refs),
+                        3)});
+        std::fflush(stdout);
+    }
+    out.print();
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's
+ * tables and figures.
+ */
+
+#ifndef TLBPF_BENCH_BENCH_COMMON_HH
+#define TLBPF_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/cli.hh"
+#include "util/csv.hh"
+#include "util/table_printer.hh"
+
+namespace tlbpf::bench
+{
+
+/** Standard options shared by the figure/table binaries. */
+struct BenchOptions
+{
+    std::uint64_t refs = kDefaultBenchRefs;
+    std::string csvPath;   ///< optional machine-readable dump
+    std::vector<std::string> apps; ///< restrict to a subset
+};
+
+inline BenchOptions
+parseBenchOptions(int argc, const char *const *argv,
+                  std::vector<std::string> extra_known = {})
+{
+    std::vector<std::string> known = {"refs", "csv", "apps"};
+    for (auto &k : extra_known)
+        known.push_back(k);
+    CliArgs args(argc, argv, known);
+    BenchOptions options;
+    options.refs = static_cast<std::uint64_t>(
+        args.getInt("refs", static_cast<std::int64_t>(
+                                kDefaultBenchRefs)));
+    options.csvPath = args.get("csv");
+    if (args.has("apps"))
+        options.apps = parseStringList(args.get("apps"));
+    return options;
+}
+
+/** Print one figure-style "bar group" row per application. */
+inline void
+printAccuracyFigure(const std::string &caption,
+                    const std::vector<const AppModel *> &apps,
+                    const std::vector<PrefetcherSpec> &specs,
+                    const BenchOptions &options)
+{
+    std::vector<std::string> header = {"app"};
+    for (const PrefetcherSpec &spec : specs)
+        header.push_back(spec.label());
+    TablePrinter table(std::move(header));
+    table.caption(caption);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!options.csvPath.empty()) {
+        csv = std::make_unique<CsvWriter>(options.csvPath);
+        std::vector<std::string> csv_header = {"app", "mechanism",
+                                               "accuracy",
+                                               "miss_rate"};
+        csv->writeRow(csv_header);
+    }
+
+    for (const AppModel *app : apps) {
+        if (!options.apps.empty() &&
+            std::find(options.apps.begin(), options.apps.end(),
+                      app->name) == options.apps.end())
+            continue;
+        std::vector<std::string> row = {app->name};
+        auto cells = accuracySweep(app->name, specs, options.refs);
+        for (const AccuracyCell &cell : cells) {
+            row.push_back(TablePrinter::num(cell.accuracy, 3));
+            if (csv)
+                csv->writeRow({app->name, cell.label,
+                               TablePrinter::num(cell.accuracy, 6),
+                               TablePrinter::num(cell.missRate, 6)});
+        }
+        table.addRow(std::move(row));
+        std::fflush(stdout);
+    }
+    table.print();
+}
+
+} // namespace tlbpf::bench
+
+#endif // TLBPF_BENCH_BENCH_COMMON_HH

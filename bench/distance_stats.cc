@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Analysis tool: the miss-distance distributions that motivate
+ * distance prefetching.
+ *
+ * DP's space argument (paper Section 2.5) rests on the observation
+ * that TLB miss streams use few *distinct distances* even when they
+ * touch many distinct pages.  For every application this tool reports
+ * the number of distinct pages vs distinct distances in the miss
+ * stream and how much of the stream the top-8 distances cover — the
+ * higher the coverage, the smaller the DP table can be.
+ *
+ * Usage: distance_stats [--refs N] [--apps a,b,c]
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/histogram.hh"
+#include "tlb/tlb.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+
+    std::printf("=== Miss-distance distribution analysis (refs/app = "
+                "%llu) ===\n",
+                static_cast<unsigned long long>(options.refs));
+
+    TablePrinter out({"app", "misses", "distinct pages",
+                      "distinct distances", "top-8 coverage",
+                      "top-1 distance"});
+    out.caption("128-entry FA TLB; distances between successive "
+                "missing pages");
+
+    for (const AppModel &app : appRegistry()) {
+        if (!options.apps.empty() &&
+            std::find(options.apps.begin(), options.apps.end(),
+                      app.name) == options.apps.end())
+            continue;
+
+        Tlb tlb({128, 0});
+        SparseHistogram distances;
+        SparseHistogram pages;
+        Vpn prev = kNoPage;
+
+        auto stream = buildApp(app.name, options.refs);
+        MemRef ref;
+        while (stream->next(ref)) {
+            Vpn vpn = ref.vpn();
+            if (tlb.access(vpn))
+                continue;
+            tlb.insert(vpn);
+            pages.sample(static_cast<std::int64_t>(vpn));
+            if (prev != kNoPage)
+                distances.sample(static_cast<std::int64_t>(vpn) -
+                                 static_cast<std::int64_t>(prev));
+            prev = vpn;
+        }
+
+        std::string top1 = "-";
+        if (distances.total() > 0) {
+            auto top = distances.topK(1);
+            top1 = std::to_string(top[0].first) + " (" +
+                   TablePrinter::num(
+                       static_cast<double>(top[0].second) /
+                           static_cast<double>(distances.total()),
+                       2) +
+                   ")";
+        }
+        out.addRow({app.name, TablePrinter::num(distances.total()),
+                    TablePrinter::num(
+                        static_cast<std::uint64_t>(pages.distinct())),
+                    TablePrinter::num(static_cast<std::uint64_t>(
+                        distances.distinct())),
+                    TablePrinter::num(distances.coverage(8), 3),
+                    top1});
+        std::fflush(stdout);
+    }
+    out.print();
+    std::printf("(a Markov table needs ~'distinct pages' rows; DP "
+                "needs ~'distinct distances' — the gap is the paper's "
+                "space argument)\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates paper Figure 7: prediction accuracy of RP, MP, DP and
+ * ASP for all 26 SPEC CPU2000 applications.
+ *
+ * Configuration follows Section 3.1: 128-entry fully-associative TLB,
+ * 16-entry prefetch buffer, 4 KB pages, s = 2.  The mechanism list and
+ * its order match the figure legend: RP; MP with r in {1024,512,256}
+ * and D/4/2/F indexing; DP and ASP direct-mapped with r from 1024 down
+ * to 32.
+ *
+ * Usage: fig7_spec [--refs N] [--apps gzip,mcf,...] [--csv out.csv]
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+    std::printf("=== Figure 7: prediction accuracy, SPEC CPU2000 "
+                "(refs/app = %llu) ===\n",
+                static_cast<unsigned long long>(options.refs));
+    printAccuracyFigure("128-entry FA TLB, b=16, s=2, 4KB pages",
+                        appsInSuite(kSuiteSpec), figure7Specs(),
+                        options);
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Regenerates paper Figure 8: prediction accuracy of RP, MP, DP and
+ * ASP for the MediaBench (20), Etch (5) and Pointer-Intensive (5)
+ * applications, same configuration and legend as Figure 7.
+ *
+ * Usage: fig8_suites [--refs N] [--apps gsm-enc,...] [--csv out.csv]
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+    std::printf("=== Figure 8: prediction accuracy, MediaBench / Etch "
+                "/ Pointer-Intensive (refs/app = %llu) ===\n",
+                static_cast<unsigned long long>(options.refs));
+    for (const char *suite : {kSuiteMedia, kSuiteEtch, kSuitePtr}) {
+        printAccuracyFigure(std::string("--- ") + suite + " ---",
+                            appsInSuite(suite), figure7Specs(),
+                            options);
+    }
+    return 0;
+}

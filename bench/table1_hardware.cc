@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates paper Table 1: the hardware-cost comparison of ASP, MP,
+ * RP and DP, straight from each mechanism's HardwareProfile, plus the
+ * measured RP page-table overhead for a representative run.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "prefetch/asp.hh"
+#include "prefetch/distance.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/recency.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+
+    std::printf("=== Table 1: hardware comparison (s = 2) ===\n");
+
+    PageTable pt;
+    TableConfig table{256, TableAssoc::Direct};
+    AspPrefetcher asp(table);
+    MarkovPrefetcher mp(table, 2);
+    RecencyPrefetcher rp(pt);
+    DistancePrefetcher dp(table, 2);
+    const Prefetcher *schemes[] = {&asp, &mp, &rp, &dp};
+
+    TablePrinter out({"", "ASP", "MP", "RP", "DP"});
+    auto row = [&schemes](const std::string &label, auto field) {
+        std::vector<std::string> cells = {label};
+        for (const Prefetcher *scheme : schemes)
+            cells.push_back(field(scheme->hardwareProfile()));
+        return cells;
+    };
+    out.addRow(row("How many rows?",
+                   [](const HardwareProfile &p) { return p.rows; }));
+    out.addRow(row("Contents of a row",
+                   [](const HardwareProfile &p) {
+                       return p.rowContents;
+                   }));
+    out.addRow(row("Where is the table?",
+                   [](const HardwareProfile &p) {
+                       return p.tableLocation;
+                   }));
+    out.addRow(row("Indexed by",
+                   [](const HardwareProfile &p) { return p.indexedBy; }));
+    out.addRow(row("Memory ops per miss (excl. prefetch)",
+                   [](const HardwareProfile &p) {
+                       return std::to_string(p.memOpsPerMiss);
+                   }));
+    out.addRow(row("Prefetches per miss",
+                   [](const HardwareProfile &p) {
+                       return p.maxPrefetches;
+                   }));
+    out.print();
+
+    // Quantify RP's in-memory cost and DP's on-chip cost on a real
+    // model: RP grows the page table by two words per PTE; DP needs a
+    // few hundred bytes of on-chip table.
+    PrefetcherSpec rp_spec;
+    rp_spec.scheme = Scheme::RP;
+    SimResult run = runFunctional("mcf", rp_spec, options.refs);
+    std::printf("\nRP page-table overhead on mcf (%llu pages touched): "
+                "%llu bytes in memory\n",
+                static_cast<unsigned long long>(run.footprintPages),
+                static_cast<unsigned long long>(run.footprintPages *
+                                                16));
+    std::printf("DP on-chip table (r=256, s=2): %llu bytes\n",
+                static_cast<unsigned long long>(
+                    dp.predictor().storageBits() / 8));
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Distance prefetching beyond TLBs: the paper notes DP "can possibly
+ * be used in the context of caches, I/O etc.".  This example reuses
+ * the core DistancePredictor, unchanged, to prefetch 64-byte cache
+ * lines into a small fully-associative cache and measures how many
+ * misses it converts into prefetch hits on a stencil-like stream.
+ */
+
+#include <cstdio>
+#include <list>
+#include <unordered_map>
+
+#include "core/distance_predictor.hh"
+#include "trace/ref_stream.hh"
+#include "workload/generators.hh"
+
+namespace
+{
+
+using namespace tlbpf;
+
+constexpr std::uint64_t kLineBytes = 64;
+
+/** Minimal fully-associative LRU cache of line numbers. */
+class TinyCache
+{
+  public:
+    explicit TinyCache(std::size_t lines) : _capacity(lines) {}
+
+    bool
+    access(std::uint64_t line)
+    {
+        auto it = _index.find(line);
+        if (it == _index.end())
+            return false;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return true;
+    }
+
+    void
+    insert(std::uint64_t line)
+    {
+        if (access(line))
+            return;
+        if (_lru.size() >= _capacity) {
+            _index.erase(_lru.back());
+            _lru.pop_back();
+        }
+        _lru.push_front(line);
+        _index[line] = _lru.begin();
+    }
+
+  private:
+    std::size_t _capacity;
+    std::list<std::uint64_t> _lru;
+    std::unordered_map<std::uint64_t,
+                       std::list<std::uint64_t>::iterator>
+        _index;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace tlbpf;
+
+    // A three-array stencil sweep: the same distance-pattern structure
+    // the paper's category (d) describes, at cache-line granularity.
+    DistancePatternWalk::Config config;
+    config.basePage = 1 << 16;
+    config.regionPages = 1 << 22;
+    config.pattern = {1, 200, -199, 1, 200, -199, 2};
+    config.steps = 300000;
+    config.refsPerStep = 2;
+    config.passes = 1;
+    config.seed = 11;
+    DistancePatternWalk stream(config);
+
+    TinyCache cache(512);          // demand-managed lines
+    TinyCache prefetched(64);      // the "stream buffer"
+    DistancePredictor dp(DistancePredictorConfig{
+        TableConfig{256, TableAssoc::Direct}, 2});
+
+    std::uint64_t misses = 0;
+    std::uint64_t prefetch_hits = 0;
+    std::vector<std::uint64_t> predictions;
+
+    MemRef ref;
+    while (stream.next(ref)) {
+        // Treat page numbers from the walk as line numbers: the
+        // predictor is unit-agnostic.
+        std::uint64_t line = ref.vaddr / kLineBytes;
+        if (cache.access(line))
+            continue;
+        ++misses;
+        if (prefetched.access(line))
+            ++prefetch_hits;
+        cache.insert(line);
+
+        predictions.clear();
+        dp.observe(line, predictions);
+        for (std::uint64_t target : predictions)
+            prefetched.insert(target);
+    }
+
+    std::printf("cache-line distance prefetching demo\n");
+    std::printf("misses:            %llu\n",
+                static_cast<unsigned long long>(misses));
+    std::printf("prefetch hits:     %llu\n",
+                static_cast<unsigned long long>(prefetch_hits));
+    std::printf("coverage:          %.3f\n",
+                misses ? static_cast<double>(prefetch_hits) /
+                             static_cast<double>(misses)
+                       : 0.0);
+    std::printf("table occupancy:   %zu rows (of %u)\n",
+                dp.tableOccupancy(), dp.config().table.rows);
+    return 0;
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bring-your-own-workload: implement RefStream for an application the
+ * library does not model — here a blocked matrix-matrix product — and
+ * compare all five mechanisms on it.
+ *
+ * This is the path a user takes to evaluate TLB prefetching for their
+ * own kernel before touching hardware.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hh"
+
+namespace
+{
+
+using namespace tlbpf;
+
+/**
+ * Reference stream of a blocked matrix multiply C = A * B over
+ * row-major double matrices, emitting one reference per element
+ * access with per-array access PCs.
+ */
+class BlockedMatmulStream : public RefStream
+{
+  public:
+    BlockedMatmulStream(std::uint32_t n, std::uint32_t block)
+        : _n(n), _block(block)
+    {
+        reset();
+    }
+
+    bool
+    next(MemRef &ref) override
+    {
+        if (_done)
+            return false;
+        // Emit references in the order a blocked i-k-j loop nest
+        // touches memory: A[i][k], B[k][j], C[i][j].
+        switch (_phase) {
+          case 0:
+            ref.vaddr = _baseA + 8ull * (_i * _n + _k);
+            ref.pc = 0x401000;
+            break;
+          case 1:
+            ref.vaddr = _baseB + 8ull * (_k * _n + _j);
+            ref.pc = 0x401004;
+            break;
+          default:
+            ref.vaddr = _baseC + 8ull * (_i * _n + _j);
+            ref.pc = 0x401008;
+            break;
+        }
+        ref.isWrite = _phase == 2;
+        ref.icount = _icount++;
+        advance();
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        _bi = _bj = _bk = 0;
+        _i = _j = _k = 0;
+        _phase = 0;
+        _icount = 0;
+        _done = false;
+        syncToBlock();
+    }
+
+    std::string
+    describe() const override
+    {
+        return "blocked-matmul(n=" + std::to_string(_n) + ",b=" +
+               std::to_string(_block) + ")";
+    }
+
+  private:
+    void
+    syncToBlock()
+    {
+        _i = _bi;
+        _j = _bj;
+        _k = _bk;
+    }
+
+    void
+    advance()
+    {
+        if (++_phase < 3)
+            return;
+        _phase = 0;
+        // Innermost j, then k, then i within the block; then blocks.
+        if (++_j < std::min(_bj + _block, _n))
+            return;
+        _j = _bj;
+        if (++_k < std::min(_bk + _block, _n))
+            return;
+        _k = _bk;
+        if (++_i < std::min(_bi + _block, _n))
+            return;
+        _i = _bi;
+        _bj += _block;
+        if (_bj >= _n) {
+            _bj = 0;
+            _bk += _block;
+            if (_bk >= _n) {
+                _bk = 0;
+                _bi += _block;
+                if (_bi >= _n) {
+                    _done = true;
+                    return;
+                }
+            }
+        }
+        syncToBlock();
+    }
+
+    std::uint32_t _n;
+    std::uint32_t _block;
+    Addr _baseA = 1ull << 32;
+    Addr _baseB = 2ull << 32;
+    Addr _baseC = 3ull << 32;
+
+    std::uint32_t _bi = 0, _bj = 0, _bk = 0;
+    std::uint32_t _i = 0, _j = 0, _k = 0;
+    int _phase = 0;
+    std::uint64_t _icount = 0;
+    bool _done = false;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace tlbpf;
+
+    // 1024x1024 doubles = 8 MB per matrix: far beyond a 128-entry
+    // TLB's 512 KB reach.
+    BlockedMatmulStream stream(256, 32);
+
+    std::printf("workload: %s\n", stream.describe().c_str());
+    std::printf("%-14s %10s %10s %12s\n", "mechanism", "accuracy",
+                "missrate", "memops/miss");
+
+    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::ASP,
+                          Scheme::MP, Scheme::RP, Scheme::DP}) {
+        PrefetcherSpec spec;
+        spec.scheme = scheme;
+        spec.table = TableConfig{256, TableAssoc::Direct};
+        spec.slots = 2;
+        stream.reset();
+        SimResult r = simulate(SimConfig{}, spec, stream);
+        std::printf("%-14s %10.3f %10.5f %12.2f\n",
+                    spec.label().c_str(), r.accuracy(), r.missRate(),
+                    r.memOpsPerMiss());
+    }
+    return 0;
+}

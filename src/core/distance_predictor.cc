@@ -1,0 +1,79 @@
+#include "core/distance_predictor.hh"
+
+#include "util/bits.hh"
+
+namespace tlbpf
+{
+
+DistancePredictor::DistancePredictor(
+    const DistancePredictorConfig &config)
+    : _config(config), _table(config.table)
+{
+    tlbpf_assert(config.slots >= 1 && config.slots <= 8,
+                 "distance predictor slots must be in [1, 8]");
+}
+
+void
+DistancePredictor::observe(std::uint64_t unit,
+                           std::vector<std::uint64_t> &predictions)
+{
+    ++_observations;
+    if (!_hasPrevUnit) {
+        _prevUnit = unit;
+        _hasPrevUnit = true;
+        return;
+    }
+
+    std::int64_t dist = static_cast<std::int64_t>(unit) -
+                        static_cast<std::int64_t>(_prevUnit);
+
+    // Step 4 of Figure 6: the previous distance's row learns the
+    // current distance as a follower.  Done before the lookup so a
+    // self-following distance (pure sequential) predicts from the
+    // second miss onwards.
+    if (_hasPrevDist) {
+        Slots &slots = _table.findOrInsert(zigZagEncode(_prevDist));
+        slots.setCapacity(_config.slots);
+        slots.addOrPromote(dist);
+    }
+
+    // Steps 2-3: the current distance's row supplies predictions.
+    if (Slots *slots = _table.find(zigZagEncode(dist))) {
+        std::size_t n = std::min<std::size_t>(slots->size(),
+                                              _config.slots);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::int64_t predicted = (*slots)[i];
+            std::int64_t target = static_cast<std::int64_t>(unit) +
+                                  predicted;
+            if (target >= 0)
+                predictions.push_back(
+                    static_cast<std::uint64_t>(target));
+        }
+    }
+
+    _prevUnit = unit;
+    _prevDist = dist;
+    _hasPrevDist = true;
+}
+
+void
+DistancePredictor::reset()
+{
+    _table.reset();
+    _prevUnit = 0;
+    _prevDist = 0;
+    _hasPrevUnit = false;
+    _hasPrevDist = false;
+    _observations = 0;
+}
+
+std::uint64_t
+DistancePredictor::storageBits() const
+{
+    const std::uint64_t tag_bits = 32;
+    const std::uint64_t slot_bits = 32ull * _config.slots;
+    return static_cast<std::uint64_t>(_config.table.rows) *
+           (1 + tag_bits + slot_bits);
+}
+
+} // namespace tlbpf

@@ -1,0 +1,37 @@
+#include "core/prediction_table.hh"
+
+namespace tlbpf
+{
+
+std::string
+assocLabel(TableAssoc assoc)
+{
+    switch (assoc) {
+      case TableAssoc::Direct:
+        return "D";
+      case TableAssoc::TwoWay:
+        return "2";
+      case TableAssoc::FourWay:
+        return "4";
+      case TableAssoc::Full:
+        return "F";
+    }
+    tlbpf_panic("unreachable assoc value");
+}
+
+TableAssoc
+parseAssoc(const std::string &label)
+{
+    if (label == "D" || label == "d" || label == "1")
+        return TableAssoc::Direct;
+    if (label == "2")
+        return TableAssoc::TwoWay;
+    if (label == "4")
+        return TableAssoc::FourWay;
+    if (label == "F" || label == "f")
+        return TableAssoc::Full;
+    tlbpf_fatal("bad table associativity '", label,
+                "' (expected D, 2, 4 or F)");
+}
+
+} // namespace tlbpf

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Generic on-chip prediction table used by the ASP, MP and DP engines.
+ *
+ * The table has @c r rows organised as direct-mapped, set-associative
+ * (2/4-way) or fully-associative storage with true-LRU replacement
+ * within a set, exactly the configurations swept in the paper's
+ * Figures 7-9.  Rows are tagged with the full key so aliasing behaves
+ * like hardware would.
+ */
+
+#ifndef TLBPF_CORE_PREDICTION_TABLE_HH
+#define TLBPF_CORE_PREDICTION_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+/** Table indexing policy. */
+enum class TableAssoc : std::uint32_t
+{
+    Direct = 1,
+    TwoWay = 2,
+    FourWay = 4,
+    Full = 0
+};
+
+/** Short label used in figure legends: D, 2, 4, F. */
+std::string assocLabel(TableAssoc assoc);
+
+/** Parse "D"/"2"/"4"/"F" (fatal on anything else). */
+TableAssoc parseAssoc(const std::string &label);
+
+/** Geometry of a prediction table. */
+struct TableConfig
+{
+    std::uint32_t rows = 256;
+    TableAssoc assoc = TableAssoc::Direct;
+
+    std::uint32_t
+    ways() const
+    {
+        return assoc == TableAssoc::Full
+                   ? rows
+                   : static_cast<std::uint32_t>(assoc);
+    }
+
+    std::uint32_t numSets() const { return rows / ways(); }
+};
+
+/**
+ * Tagged prediction table storing one Payload per row.
+ *
+ * @tparam Payload per-row prediction state (POD-ish, default
+ *                 constructible).
+ */
+template <typename Payload>
+class PredictionTable
+{
+  public:
+    explicit PredictionTable(const TableConfig &config)
+        : _config(config), _ways(config.ways())
+    {
+        tlbpf_assert(config.rows > 0, "prediction table needs rows");
+        tlbpf_assert(config.rows % _ways == 0,
+                     "rows (", config.rows,
+                     ") not a multiple of ways (", _ways, ")");
+        tlbpf_assert(isPowerOfTwo(config.numSets()),
+                     "prediction table sets must be a power of two");
+        _rows.resize(config.rows);
+    }
+
+    /**
+     * Look up @p key; returns the payload and refreshes LRU on a hit,
+     * nullptr on a miss.
+     */
+    Payload *
+    find(std::uint64_t key)
+    {
+        Row *row = findRow(key);
+        if (!row)
+            return nullptr;
+        row->lastUse = ++_clock;
+        ++_hits;
+        return &row->payload;
+    }
+
+    /** Look up without disturbing LRU or counters. */
+    const Payload *
+    peek(std::uint64_t key) const
+    {
+        const Row *row =
+            const_cast<PredictionTable *>(this)->findRow(key);
+        return row ? &row->payload : nullptr;
+    }
+
+    /**
+     * Look up @p key, allocating (and default-initialising) the row if
+     * absent, evicting the set's LRU victim when full.
+     */
+    Payload &
+    findOrInsert(std::uint64_t key)
+    {
+        if (Payload *p = find(key))
+            return *p;
+        ++_misses;
+        std::size_t base = setBase(key);
+        Row *victim = nullptr;
+        for (std::size_t w = 0; w < _ways; ++w) {
+            Row &row = _rows[base + w];
+            if (!row.valid) {
+                victim = &row;
+                break;
+            }
+            if (!victim || row.lastUse < victim->lastUse)
+                victim = &row;
+        }
+        if (victim->valid)
+            ++_evictions;
+        victim->valid = true;
+        victim->key = key;
+        victim->lastUse = ++_clock;
+        victim->payload = Payload{};
+        return victim->payload;
+    }
+
+    /** True if a row for @p key is resident. */
+    bool contains(std::uint64_t key) const { return peek(key) != nullptr; }
+
+    void
+    reset()
+    {
+        for (Row &row : _rows)
+            row.valid = false;
+        _clock = 0;
+        _hits = 0;
+        _misses = 0;
+        _evictions = 0;
+    }
+
+    const TableConfig &config() const { return _config; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _misses; }
+    std::uint64_t evictions() const { return _evictions; }
+
+    /** Number of valid rows (for occupancy diagnostics). */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Row &row : _rows)
+            n += row.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Row
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        Payload payload{};
+    };
+
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        return (key & (_config.numSets() - 1)) *
+               static_cast<std::size_t>(_ways);
+    }
+
+    Row *
+    findRow(std::uint64_t key)
+    {
+        std::size_t base = setBase(key);
+        for (std::size_t w = 0; w < _ways; ++w) {
+            Row &row = _rows[base + w];
+            if (row.valid && row.key == key)
+                return &row;
+        }
+        return nullptr;
+    }
+
+    TableConfig _config;
+    std::uint32_t _ways;
+    std::vector<Row> _rows;
+    std::uint64_t _clock = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+};
+
+/**
+ * Fixed-capacity LRU-ordered slot list: the per-row payload used by MP
+ * (predicted pages) and DP (predicted distances).  Front = MRU.
+ */
+template <typename T, std::size_t MaxSlots = 8>
+class SlotLru
+{
+  public:
+    explicit SlotLru(std::size_t capacity) : _capacity(capacity)
+    {
+        tlbpf_assert(capacity >= 1 && capacity <= MaxSlots,
+                     "slot capacity out of range");
+    }
+
+    SlotLru() : _capacity(2) {}
+
+    /**
+     * Record @p value: promote to MRU if present, otherwise insert at
+     * MRU evicting the LRU slot when full.
+     */
+    void
+    addOrPromote(const T &value)
+    {
+        for (std::size_t i = 0; i < _size; ++i) {
+            if (_slots[i] == value) {
+                // rotate [0, i] right so value lands at front
+                for (std::size_t j = i; j > 0; --j)
+                    _slots[j] = _slots[j - 1];
+                _slots[0] = value;
+                return;
+            }
+        }
+        std::size_t limit = std::min(_size + 1, _capacity);
+        for (std::size_t j = limit - 1; j > 0; --j)
+            _slots[j] = _slots[j - 1];
+        _slots[0] = value;
+        _size = limit;
+    }
+
+    std::size_t size() const { return _size; }
+    std::size_t capacity() const { return _capacity; }
+    const T &operator[](std::size_t i) const { return _slots[i]; }
+
+    /**
+     * Adjust capacity (used right after a row is allocated, since the
+     * table default-constructs payloads).  Shrinking drops LRU slots.
+     */
+    void
+    setCapacity(std::size_t capacity)
+    {
+        tlbpf_assert(capacity >= 1 && capacity <= MaxSlots,
+                     "slot capacity out of range");
+        _capacity = capacity;
+        if (_size > _capacity)
+            _size = _capacity;
+    }
+
+    void clear() { _size = 0; }
+
+  private:
+    std::size_t _capacity;
+    std::size_t _size = 0;
+    T _slots[MaxSlots]{};
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_CORE_PREDICTION_TABLE_HH

@@ -1,0 +1,148 @@
+#include "mem/page_table.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace tlbpf
+{
+
+PageTableEntry &
+PageTable::lookup(Vpn vpn)
+{
+    auto [it, inserted] = _entries.try_emplace(vpn);
+    if (inserted) {
+        // Deterministic pseudo-random frame assignment; the frame value
+        // itself never feeds back into prefetching decisions.
+        it->second.pfn = mix64(vpn) & ((1ull << 40) - 1);
+        it->second.next = kNoPage;
+        it->second.prev = kNoPage;
+        it->second.inStack = false;
+    }
+    return it->second;
+}
+
+const PageTableEntry *
+PageTable::find(Vpn vpn) const
+{
+    auto it = _entries.find(vpn);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+PageTableEntry *
+PageTable::find(Vpn vpn)
+{
+    auto it = _entries.find(vpn);
+    return it == _entries.end() ? nullptr : &it->second;
+}
+
+void
+PageTable::clear()
+{
+    _entries.clear();
+}
+
+bool
+RecencyStack::contains(Vpn vpn) const
+{
+    const PageTableEntry *pte = _pt.find(vpn);
+    return pte && pte->inStack;
+}
+
+void
+RecencyStack::unlink(Vpn vpn, UpdateResult &res)
+{
+    PageTableEntry &pte = _pt.lookup(vpn);
+    tlbpf_assert(pte.inStack, "unlink of page not in recency stack");
+
+    if (pte.prev != kNoPage) {
+        res.neighbors[res.numNeighbors++] = pte.prev;
+        _pt.lookup(pte.prev).next = pte.next;
+        ++res.pointerOps;
+    } else {
+        tlbpf_assert(_top == vpn, "stack head corrupted");
+        _top = pte.next;
+        ++res.pointerOps;
+    }
+    if (pte.next != kNoPage) {
+        res.neighbors[res.numNeighbors++] = pte.next;
+        _pt.lookup(pte.next).prev = pte.prev;
+        ++res.pointerOps;
+    }
+
+    pte.next = kNoPage;
+    pte.prev = kNoPage;
+    pte.inStack = false;
+    --_linked;
+}
+
+void
+RecencyStack::push(Vpn vpn, UpdateResult &res)
+{
+    PageTableEntry &pte = _pt.lookup(vpn);
+    tlbpf_assert(!pte.inStack,
+                 "push of page already in recency stack: ", vpn);
+
+    pte.prev = kNoPage;
+    pte.next = _top;
+    ++res.pointerOps;
+    if (_top != kNoPage) {
+        _pt.lookup(_top).prev = vpn;
+        ++res.pointerOps;
+    }
+    _top = vpn;
+    pte.inStack = true;
+    ++_linked;
+}
+
+RecencyStack::UpdateResult
+RecencyStack::onMiss(Vpn missed, Vpn evicted, unsigned reach)
+{
+    tlbpf_assert(reach >= 1 && 2 * reach <= kMaxNeighbors,
+                 "unsupported recency reach ", reach);
+    UpdateResult res;
+    PageTableEntry &pte = _pt.lookup(missed);
+    if (pte.inStack && reach > 1) {
+        // Record the wider neighbourhood (closest first per side)
+        // before unlink() rewires and reports the immediate pair.
+        Vpn up = pte.prev;
+        Vpn down = pte.next;
+        for (unsigned step = 1; step < reach; ++step) {
+            if (up != kNoPage)
+                up = _pt.lookup(up).prev;
+            if (down != kNoPage)
+                down = _pt.lookup(down).next;
+        }
+        unlink(missed, res);
+        if (up != kNoPage)
+            res.neighbors[res.numNeighbors++] = up;
+        if (down != kNoPage)
+            res.neighbors[res.numNeighbors++] = down;
+    } else if (pte.inStack) {
+        unlink(missed, res);
+    }
+    if (evicted != kNoPage) {
+        // A page evicted from the TLB cannot already be linked: it left
+        // the stack when it last missed into the TLB.
+        push(evicted, res);
+    }
+    return res;
+}
+
+void
+RecencyStack::reset()
+{
+    // Walk the stack unlinking everything.
+    Vpn cur = _top;
+    while (cur != kNoPage) {
+        PageTableEntry &pte = _pt.lookup(cur);
+        Vpn next = pte.next;
+        pte.next = kNoPage;
+        pte.prev = kNoPage;
+        pte.inStack = false;
+        cur = next;
+    }
+    _top = kNoPage;
+    _linked = 0;
+}
+
+} // namespace tlbpf

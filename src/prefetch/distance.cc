@@ -1,0 +1,51 @@
+#include "prefetch/distance.hh"
+
+namespace tlbpf
+{
+
+DistancePrefetcher::DistancePrefetcher(const TableConfig &table,
+                                       std::uint32_t slots)
+    : _predictor(DistancePredictorConfig{table, slots})
+{
+}
+
+void
+DistancePrefetcher::onMiss(const TlbMiss &miss,
+                           PrefetchDecision &decision)
+{
+    _scratch.clear();
+    _predictor.observe(miss.vpn, _scratch);
+    for (std::uint64_t target : _scratch)
+        decision.targets.push_back(target);
+}
+
+void
+DistancePrefetcher::reset()
+{
+    _predictor.reset();
+}
+
+std::string
+DistancePrefetcher::label() const
+{
+    const auto &table = _predictor.config().table;
+    return "DP," + std::to_string(table.rows) + "," +
+           assocLabel(table.assoc);
+}
+
+HardwareProfile
+DistancePrefetcher::hardwareProfile() const
+{
+    return HardwareProfile{
+        "r",
+        "Distance Tag, " +
+            std::to_string(_predictor.config().slots) +
+            " Prediction Distances",
+        "On-Chip",
+        "Distance",
+        0,
+        std::to_string(_predictor.config().slots),
+    };
+}
+
+} // namespace tlbpf

@@ -1,0 +1,95 @@
+#include "prefetch/factory.hh"
+
+#include "prefetch/asp.hh"
+#include "prefetch/distance.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/recency.hh"
+#include "prefetch/sequential.hh"
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+std::string
+schemeName(Scheme scheme)
+{
+    switch (scheme) {
+      case Scheme::None:
+        return "none";
+      case Scheme::SP:
+        return "SP";
+      case Scheme::ASP:
+        return "ASP";
+      case Scheme::MP:
+        return "MP";
+      case Scheme::RP:
+        return "RP";
+      case Scheme::DP:
+        return "DP";
+    }
+    tlbpf_panic("unreachable scheme value");
+}
+
+Scheme
+parseScheme(const std::string &name)
+{
+    if (name == "none")
+        return Scheme::None;
+    if (name == "SP" || name == "sp")
+        return Scheme::SP;
+    if (name == "ASP" || name == "asp")
+        return Scheme::ASP;
+    if (name == "MP" || name == "mp")
+        return Scheme::MP;
+    if (name == "RP" || name == "rp")
+        return Scheme::RP;
+    if (name == "DP" || name == "dp")
+        return Scheme::DP;
+    tlbpf_fatal("unknown prefetching scheme '", name, "'");
+}
+
+std::string
+PrefetcherSpec::label() const
+{
+    switch (scheme) {
+      case Scheme::None:
+        return "none";
+      case Scheme::SP:
+        return adaptive ? "ASQ" : "SP," + std::to_string(degree);
+      case Scheme::RP:
+        return rpReach == 1 ? "RP" : "RP," + std::to_string(2 * rpReach);
+      case Scheme::ASP:
+        return "ASP," + std::to_string(table.rows) + "," +
+               assocLabel(table.assoc);
+      case Scheme::MP:
+      case Scheme::DP:
+        return schemeName(scheme) + "," + std::to_string(table.rows) +
+               "," + assocLabel(table.assoc);
+    }
+    tlbpf_panic("unreachable scheme value");
+}
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const PrefetcherSpec &spec, PageTable &pt)
+{
+    switch (spec.scheme) {
+      case Scheme::None:
+        return nullptr;
+      case Scheme::SP:
+        if (spec.adaptive)
+            return std::make_unique<AdaptiveSequentialPrefetcher>();
+        return std::make_unique<SequentialPrefetcher>(spec.degree);
+      case Scheme::ASP:
+        return std::make_unique<AspPrefetcher>(spec.table);
+      case Scheme::MP:
+        return std::make_unique<MarkovPrefetcher>(spec.table, spec.slots);
+      case Scheme::RP:
+        return std::make_unique<RecencyPrefetcher>(pt, spec.rpReach);
+      case Scheme::DP:
+        return std::make_unique<DistancePrefetcher>(spec.table,
+                                                    spec.slots);
+    }
+    tlbpf_panic("unreachable scheme value");
+}
+
+} // namespace tlbpf

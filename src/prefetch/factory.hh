@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Construction of prefetchers from a declarative spec, used by the
+ * sweep drivers and bench binaries.
+ */
+
+#ifndef TLBPF_PREFETCH_FACTORY_HH
+#define TLBPF_PREFETCH_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/prediction_table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tlbpf
+{
+
+/** Mechanism selector. */
+enum class Scheme
+{
+    None, ///< no prefetching (baseline)
+    SP,
+    ASP,
+    MP,
+    RP,
+    DP
+};
+
+std::string schemeName(Scheme scheme);
+Scheme parseScheme(const std::string &name);
+
+/** Declarative prefetcher configuration. */
+struct PrefetcherSpec
+{
+    Scheme scheme = Scheme::None;
+    TableConfig table{256, TableAssoc::Direct}; ///< ASP/MP/DP
+    std::uint32_t slots = 2;                    ///< MP/DP s value
+    unsigned degree = 1;                        ///< SP only
+    bool adaptive = false; ///< SP: Dahlgren-style adaptive degree
+    unsigned rpReach = 1;  ///< RP: stack neighbours per side
+
+    /** Figure-legend style label, e.g. "DP,256,D". */
+    std::string label() const;
+};
+
+/**
+ * Build a prefetcher.  @p pt is required for RP (its state lives in
+ * the page table) and ignored by the on-chip schemes.  Returns nullptr
+ * for Scheme::None.
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(const PrefetcherSpec &spec,
+                                           PageTable &pt);
+
+} // namespace tlbpf
+
+#endif // TLBPF_PREFETCH_FACTORY_HH

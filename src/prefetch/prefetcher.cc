@@ -1,0 +1,8 @@
+#include "prefetch/prefetcher.hh"
+
+// The interface is header-only today; this translation unit anchors the
+// vtable so the library has a home for Prefetcher's key function.
+
+namespace tlbpf
+{
+} // namespace tlbpf

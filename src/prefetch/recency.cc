@@ -1,0 +1,46 @@
+#include "prefetch/recency.hh"
+
+namespace tlbpf
+{
+
+RecencyPrefetcher::RecencyPrefetcher(PageTable &pt, unsigned reach)
+    : _pt(pt), _stack(pt), _reach(reach)
+{
+}
+
+void
+RecencyPrefetcher::onMiss(const TlbMiss &miss, PrefetchDecision &decision)
+{
+    RecencyStack::UpdateResult res =
+        _stack.onMiss(miss.vpn, miss.evictedVpn, _reach);
+    for (unsigned i = 0; i < res.numNeighbors; ++i)
+        decision.targets.push_back(res.neighbors[i]);
+    decision.stateOps = res.pointerOps;
+}
+
+std::string
+RecencyPrefetcher::label() const
+{
+    return _reach == 1 ? "RP" : "RP," + std::to_string(2 * _reach);
+}
+
+void
+RecencyPrefetcher::reset()
+{
+    _stack.reset();
+}
+
+HardwareProfile
+RecencyPrefetcher::hardwareProfile() const
+{
+    return HardwareProfile{
+        "No. of PTEs",
+        "next, prev pointers",
+        "In Memory",
+        "Page #",
+        4,
+        "2",
+    };
+}
+
+} // namespace tlbpf

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Recency-based Prefetching (RP), paper Section 2.4, after Saulsbury,
+ * Dahlgren & Stenstrom.
+ *
+ * RP threads an LRU stack of TLB-evicted pages through the page table
+ * (two pointer words per PTE, in memory).  On a miss the missing page
+ * is unlinked from the stack and its two stack neighbours are
+ * prefetched; the entry just evicted from the TLB is pushed on top.
+ * The pointer manipulations cost up to 4 memory operations per miss on
+ * top of the 2 neighbour fetches — RP's bandwidth downside that
+ * Table 3 quantifies.
+ */
+
+#ifndef TLBPF_PREFETCH_RECENCY_HH
+#define TLBPF_PREFETCH_RECENCY_HH
+
+#include "mem/page_table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace tlbpf
+{
+
+/** Recency (LRU-stack) prefetcher. */
+class RecencyPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param pt    the page table whose PTEs carry the stack links.
+     * @param reach stack neighbours prefetched per side: 1 is the
+     *              paper's evaluated RP (two prefetches); 2 models the
+     *              wider variant mentioned in Saulsbury et al. (each
+     *              extra neighbour costs one more memory fetch).
+     */
+    explicit RecencyPrefetcher(PageTable &pt, unsigned reach = 1);
+
+    void onMiss(const TlbMiss &miss, PrefetchDecision &decision) override;
+    void reset() override;
+
+    std::string name() const override { return "RP"; }
+    std::string label() const override;
+    HardwareProfile hardwareProfile() const override;
+
+    /** RP skips its prefetches when earlier traffic is in flight. */
+    bool dropPrefetchesWhenBusy() const override { return true; }
+
+    const RecencyStack &stack() const { return _stack; }
+
+  private:
+    PageTable &_pt;
+    RecencyStack _stack;
+    unsigned _reach;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_PREFETCH_RECENCY_HH

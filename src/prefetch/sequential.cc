@@ -1,0 +1,97 @@
+#include "prefetch/sequential.hh"
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+SequentialPrefetcher::SequentialPrefetcher(unsigned degree)
+    : _degree(degree)
+{
+    tlbpf_assert(degree >= 1, "SP degree must be at least 1");
+}
+
+void
+SequentialPrefetcher::onMiss(const TlbMiss &miss,
+                             PrefetchDecision &decision)
+{
+    for (unsigned i = 1; i <= _degree; ++i)
+        decision.targets.push_back(miss.vpn + i);
+}
+
+std::string
+SequentialPrefetcher::label() const
+{
+    return "SP," + std::to_string(_degree);
+}
+
+HardwareProfile
+SequentialPrefetcher::hardwareProfile() const
+{
+    return HardwareProfile{
+        "0",
+        "- (stateless)",
+        "On-Chip",
+        "-",
+        0,
+        std::to_string(_degree),
+    };
+}
+
+AdaptiveSequentialPrefetcher::AdaptiveSequentialPrefetcher(
+    unsigned window, unsigned max_degree)
+    : _window(window), _maxDegree(max_degree)
+{
+    tlbpf_assert(window >= 4, "adaptation window too small");
+    tlbpf_assert(max_degree >= 1, "max degree must be at least 1");
+}
+
+void
+AdaptiveSequentialPrefetcher::onMiss(const TlbMiss &miss,
+                                     PrefetchDecision &decision)
+{
+    ++_epochMisses;
+    _epochHits += miss.pbHit ? 1 : 0;
+    if (_epochMisses >= _window) {
+        double ratio = static_cast<double>(_epochHits) /
+                       static_cast<double>(_epochMisses);
+        // Dahlgren-style two-threshold controller.
+        if (ratio > 0.6 && _degree < _maxDegree)
+            ++_degree;
+        else if (ratio < 0.3 && _degree > 1)
+            --_degree;
+        _epochMisses = 0;
+        _epochHits = 0;
+    }
+    for (unsigned i = 1; i <= _degree; ++i)
+        decision.targets.push_back(miss.vpn + i);
+}
+
+void
+AdaptiveSequentialPrefetcher::reset()
+{
+    _degree = 1;
+    _epochMisses = 0;
+    _epochHits = 0;
+}
+
+std::string
+AdaptiveSequentialPrefetcher::label() const
+{
+    return "ASQ," + std::to_string(_maxDegree);
+}
+
+HardwareProfile
+AdaptiveSequentialPrefetcher::hardwareProfile() const
+{
+    return HardwareProfile{
+        "0",
+        "degree + epoch counters",
+        "On-Chip",
+        "-",
+        0,
+        "1-" + std::to_string(_maxDegree),
+    };
+}
+
+} // namespace tlbpf

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tagged Sequential Prefetching (SP), paper Section 2.1.
+ *
+ * On every demand fetch and on every first hit to a prefetched entry, a
+ * prefetch is initiated for the next sequential page (stride = +1).
+ * Because entries are removed from the prefetch buffer when they hit,
+ * every buffer hit is a first hit, so SP simply prefetches vpn+1 on
+ * every TLB miss.
+ *
+ * The paper folds SP into ASP in the results (ASP subsumes it); SP is
+ * kept here for completeness and for the ablation benches.
+ */
+
+#ifndef TLBPF_PREFETCH_SEQUENTIAL_HH
+#define TLBPF_PREFETCH_SEQUENTIAL_HH
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlbpf
+{
+
+/** Tagged sequential prefetcher. */
+class SequentialPrefetcher : public Prefetcher
+{
+  public:
+    /** @param degree how many sequential pages to prefetch (default 1). */
+    explicit SequentialPrefetcher(unsigned degree = 1);
+
+    void onMiss(const TlbMiss &miss, PrefetchDecision &decision) override;
+    void reset() override {}
+
+    std::string name() const override { return "SP"; }
+    std::string label() const override;
+    HardwareProfile hardwareProfile() const override;
+
+  private:
+    unsigned _degree;
+};
+
+/**
+ * Adaptive sequential prefetching after Dahlgren, Dubois & Stenstrom
+ * (paper Section 2.1): the prefetch degree is raised while prefetches
+ * are succeeding and lowered when they are not.  Success is observed
+ * through the miss stream itself — a miss that hits the prefetch
+ * buffer was a successful prefetch.
+ */
+class AdaptiveSequentialPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param window  misses per adaptation epoch
+     * @param max_degree largest degree the controller may reach
+     */
+    explicit AdaptiveSequentialPrefetcher(unsigned window = 64,
+                                          unsigned max_degree = 8);
+
+    void onMiss(const TlbMiss &miss, PrefetchDecision &decision) override;
+    void reset() override;
+
+    std::string name() const override { return "ASQ"; }
+    std::string label() const override;
+    HardwareProfile hardwareProfile() const override;
+
+    unsigned degree() const { return _degree; }
+
+  private:
+    unsigned _window;
+    unsigned _maxDegree;
+    unsigned _degree = 1;
+    unsigned _epochMisses = 0;
+    unsigned _epochHits = 0;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_PREFETCH_SEQUENTIAL_HH

@@ -1,0 +1,91 @@
+#include "sim/experiment.hh"
+
+namespace tlbpf
+{
+
+std::vector<PrefetcherSpec>
+figure7Specs()
+{
+    std::vector<PrefetcherSpec> specs;
+
+    PrefetcherSpec rp;
+    rp.scheme = Scheme::RP;
+    specs.push_back(rp);
+
+    // MP: 1024,D / 1024,4 / 1024,2 / 512,D / 512,4 / 256,D / 256,4 /
+    // 256,F (paper legend order).
+    const std::pair<std::uint32_t, TableAssoc> mp_configs[] = {
+        {1024, TableAssoc::Direct}, {1024, TableAssoc::FourWay},
+        {1024, TableAssoc::TwoWay}, {512, TableAssoc::Direct},
+        {512, TableAssoc::FourWay}, {256, TableAssoc::Direct},
+        {256, TableAssoc::FourWay}, {256, TableAssoc::Full},
+    };
+    for (const auto &[rows, assoc] : mp_configs) {
+        PrefetcherSpec spec;
+        spec.scheme = Scheme::MP;
+        spec.table = TableConfig{rows, assoc};
+        spec.slots = 2;
+        specs.push_back(spec);
+    }
+
+    // DP and ASP: direct-mapped, r descending 1024..32.
+    for (Scheme scheme : {Scheme::DP, Scheme::ASP}) {
+        for (std::uint32_t rows : {1024u, 512u, 256u, 128u, 64u, 32u}) {
+            PrefetcherSpec spec;
+            spec.scheme = scheme;
+            spec.table = TableConfig{rows, TableAssoc::Direct};
+            spec.slots = 2;
+            specs.push_back(spec);
+        }
+    }
+    return specs;
+}
+
+std::vector<PrefetcherSpec>
+table2Specs()
+{
+    std::vector<PrefetcherSpec> specs;
+    for (Scheme scheme :
+         {Scheme::DP, Scheme::RP, Scheme::ASP, Scheme::MP}) {
+        PrefetcherSpec spec;
+        spec.scheme = scheme;
+        spec.table = TableConfig{256, TableAssoc::Direct};
+        spec.slots = 2;
+        specs.push_back(spec);
+    }
+    return specs;
+}
+
+SimResult
+runFunctional(const std::string &app, const PrefetcherSpec &spec,
+              std::uint64_t refs, const SimConfig &config)
+{
+    auto stream = buildApp(app, refs);
+    return simulate(config, spec, *stream);
+}
+
+TimingResult
+runTimed(const std::string &app, const PrefetcherSpec &spec,
+         std::uint64_t refs, const SimConfig &config,
+         const TimingConfig &timing)
+{
+    auto stream = buildApp(app, refs);
+    return simulateTimed(config, timing, spec, *stream);
+}
+
+std::vector<AccuracyCell>
+accuracySweep(const std::string &app,
+              const std::vector<PrefetcherSpec> &specs,
+              std::uint64_t refs, const SimConfig &config)
+{
+    std::vector<AccuracyCell> cells;
+    cells.reserve(specs.size());
+    for (const PrefetcherSpec &spec : specs) {
+        SimResult result = runFunctional(app, spec, refs, config);
+        cells.push_back(AccuracyCell{spec.label(), result.accuracy(),
+                                     result.missRate()});
+    }
+    return cells;
+}
+
+} // namespace tlbpf

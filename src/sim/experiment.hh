@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment drivers shared by the bench binaries: the standard
+ * mechanism configurations from the paper's figures, and one-call
+ * helpers that build an application model and simulate it.
+ */
+
+#ifndef TLBPF_SIM_EXPERIMENT_HH
+#define TLBPF_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "prefetch/factory.hh"
+#include "sim/functional_sim.hh"
+#include "sim/timing_sim.hh"
+#include "workload/app_registry.hh"
+
+namespace tlbpf
+{
+
+/** Default per-application reference budget for the benches. */
+constexpr std::uint64_t kDefaultBenchRefs = 1'000'000;
+
+/**
+ * The mechanism configurations plotted in Figures 7/8, in legend
+ * order: RP; MP with r in {1024,512,256} and D/4/2/F variants; DP with
+ * r in {1024..32} direct-mapped; ASP with r in {1024..32}.
+ */
+std::vector<PrefetcherSpec> figure7Specs();
+
+/** Compact comparison set: RP, MP/DP/ASP at r=256 D, s=2 (Table 2). */
+std::vector<PrefetcherSpec> table2Specs();
+
+/** Run one app under one mechanism (functional). */
+SimResult runFunctional(const std::string &app,
+                        const PrefetcherSpec &spec, std::uint64_t refs,
+                        const SimConfig &config = SimConfig{});
+
+/** Run one app under the timing model. */
+TimingResult runTimed(const std::string &app, const PrefetcherSpec &spec,
+                      std::uint64_t refs,
+                      const SimConfig &config = SimConfig{},
+                      const TimingConfig &timing = TimingConfig{});
+
+/** A (mechanism label, accuracy) cell for figure-style output. */
+struct AccuracyCell
+{
+    std::string label;
+    double accuracy = 0.0;
+    double missRate = 0.0;
+};
+
+/** Evaluate @p specs against one app; cells in spec order. */
+std::vector<AccuracyCell>
+accuracySweep(const std::string &app,
+              const std::vector<PrefetcherSpec> &specs,
+              std::uint64_t refs,
+              const SimConfig &config = SimConfig{});
+
+} // namespace tlbpf
+
+#endif // TLBPF_SIM_EXPERIMENT_HH

@@ -1,0 +1,102 @@
+#include "sim/functional_sim.hh"
+
+namespace tlbpf
+{
+
+FunctionalSimulator::FunctionalSimulator(const SimConfig &config,
+                                         const PrefetcherSpec &spec)
+    : _config(config),
+      _tlb(config.tlb),
+      _buffer(config.pbEntries),
+      _prefetcher(makePrefetcher(spec, _pt))
+{
+}
+
+void
+FunctionalSimulator::process(const MemRef &ref)
+{
+    if (_config.contextSwitchInterval &&
+        _result.refs > 0 &&
+        _result.refs % _config.contextSwitchInterval == 0) {
+        _tlb.flush();
+        _buffer.flush();
+        if (_prefetcher)
+            _prefetcher->reset();
+        ++_result.contextSwitches;
+    }
+    ++_result.refs;
+    Vpn vpn = ref.vpn(_config.pageBytes);
+
+    if (_tlb.access(vpn)) {
+        // Ablation mode: the prefetcher observes hits as well (it sits
+        // on the reference stream rather than the miss stream).  RP is
+        // excluded — its stack is defined by TLB evictions.
+        if (_config.trainOnAllRefs && _prefetcher &&
+            _prefetcher->name() != "RP") {
+            _decision.clear();
+            TlbMiss observed{vpn, ref.pc, false, kNoPage};
+            _prefetcher->onMiss(observed, _decision);
+            for (Vpn target : _decision.targets) {
+                if (target == vpn || _tlb.contains(target) ||
+                    _buffer.contains(target)) {
+                    ++_result.prefetchesSuppressed;
+                    continue;
+                }
+                _buffer.insert(target, 0);
+                ++_result.prefetchesIssued;
+            }
+        }
+        return;
+    }
+
+    ++_result.misses;
+    _pt.lookup(vpn); // materialise the translation
+
+    Tick ready_at = 0;
+    bool pb_hit = _buffer.hitAndPromote(vpn, ready_at);
+    if (pb_hit)
+        ++_result.pbHits;
+    else
+        ++_result.demandFetches;
+
+    std::optional<Vpn> evicted = _tlb.insert(vpn);
+
+    if (!_prefetcher)
+        return;
+
+    _decision.clear();
+    TlbMiss miss{vpn, ref.pc, pb_hit, evicted.value_or(kNoPage)};
+    _prefetcher->onMiss(miss, _decision);
+    _result.stateOps += _decision.stateOps;
+
+    for (Vpn target : _decision.targets) {
+        if (target == vpn || _tlb.contains(target) ||
+            _buffer.contains(target)) {
+            ++_result.prefetchesSuppressed;
+            continue;
+        }
+        _buffer.insert(target, 0);
+        ++_result.prefetchesIssued;
+    }
+}
+
+const SimResult &
+FunctionalSimulator::result()
+{
+    _result.footprintPages = _pt.size();
+    _result.pbEvictedUnused = _buffer.evictedUnused();
+    return _result;
+}
+
+SimResult
+simulate(const SimConfig &config, const PrefetcherSpec &spec,
+         RefStream &stream)
+{
+    FunctionalSimulator sim(config, spec);
+    MemRef ref;
+    while (stream.next(ref))
+        sim.process(ref);
+    return sim.result();
+}
+
+} // namespace tlbpf

@@ -1,0 +1,129 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+void
+SparseHistogram::sample(std::int64_t key, std::uint64_t weight)
+{
+    _bins[key] += weight;
+    _total += weight;
+}
+
+std::uint64_t
+SparseHistogram::countOf(std::int64_t key) const
+{
+    auto it = _bins.find(key);
+    return it == _bins.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::int64_t, std::uint64_t>>
+SparseHistogram::topK(std::size_t k) const
+{
+    std::vector<std::pair<std::int64_t, std::uint64_t>> items(
+        _bins.begin(), _bins.end());
+    std::sort(items.begin(), items.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second != b.second)
+                      return a.second > b.second;
+                  return a.first < b.first;
+              });
+    if (items.size() > k)
+        items.resize(k);
+    return items;
+}
+
+double
+SparseHistogram::coverage(std::size_t k) const
+{
+    if (_total == 0)
+        return 0.0;
+    std::uint64_t covered = 0;
+    for (const auto &[key, count] : topK(k))
+        covered += count;
+    return static_cast<double>(covered) / static_cast<double>(_total);
+}
+
+void
+SparseHistogram::reset()
+{
+    _bins.clear();
+    _total = 0;
+}
+
+void
+SparseHistogram::print(std::ostream &os, std::size_t top_k) const
+{
+    os << "total " << _total << ", distinct " << _bins.size() << "\n";
+    for (const auto &[key, count] : topK(top_k)) {
+        os << "  " << key << ": " << count << " ("
+           << (100.0 * static_cast<double>(count) /
+               static_cast<double>(_total ? _total : 1))
+           << "%)\n";
+    }
+}
+
+BucketHistogram::BucketHistogram(std::uint64_t bucket_width,
+                                 std::size_t num_buckets)
+    : _width(bucket_width), _buckets(num_buckets, 0)
+{
+    tlbpf_assert(bucket_width > 0, "bucket width must be positive");
+    tlbpf_assert(num_buckets > 0, "need at least one bucket");
+}
+
+void
+BucketHistogram::sample(std::uint64_t value)
+{
+    std::size_t idx = value / _width;
+    if (idx >= _buckets.size())
+        ++_overflow;
+    else
+        ++_buckets[idx];
+    ++_total;
+    _sum += static_cast<double>(value);
+}
+
+std::uint64_t
+BucketHistogram::bucketCount(std::size_t idx) const
+{
+    tlbpf_assert(idx < _buckets.size(), "bucket index out of range");
+    return _buckets[idx];
+}
+
+double
+BucketHistogram::mean() const
+{
+    return _total ? _sum / static_cast<double>(_total) : 0.0;
+}
+
+std::uint64_t
+BucketHistogram::quantile(double q) const
+{
+    if (_total == 0)
+        return 0;
+    auto threshold =
+        static_cast<std::uint64_t>(q * static_cast<double>(_total));
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        running += _buckets[i];
+        if (running >= threshold)
+            return (i + 1) * _width - 1;
+    }
+    return _buckets.size() * _width; // overflow region
+}
+
+void
+BucketHistogram::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _overflow = 0;
+    _total = 0;
+    _sum = 0.0;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Histograms for distribution-shaped statistics (e.g. the distribution
+ * of miss distances that motivates distance prefetching).
+ */
+
+#ifndef TLBPF_STATS_HISTOGRAM_HH
+#define TLBPF_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+namespace tlbpf
+{
+
+/**
+ * Exact sparse histogram over signed integer keys.
+ *
+ * Suitable for distance distributions where a handful of distinct
+ * distances dominate; memory is proportional to the number of distinct
+ * keys observed.
+ */
+class SparseHistogram
+{
+  public:
+    void sample(std::int64_t key, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return _total; }
+    std::uint64_t countOf(std::int64_t key) const;
+    std::size_t distinct() const { return _bins.size(); }
+
+    /** Keys sorted by descending count (ties by ascending key). */
+    std::vector<std::pair<std::int64_t, std::uint64_t>>
+    topK(std::size_t k) const;
+
+    /** Fraction of all samples covered by the k most frequent keys. */
+    double coverage(std::size_t k) const;
+
+    void reset();
+    void print(std::ostream &os, std::size_t top_k = 16) const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> _bins;
+    std::uint64_t _total = 0;
+};
+
+/**
+ * Fixed-width bucketed histogram over non-negative values, for
+ * latency/occupancy distributions in the timing model.
+ */
+class BucketHistogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (> 0)
+     * @param num_buckets  number of buckets; values beyond the last
+     *                     bucket land in an overflow bin
+     */
+    BucketHistogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t total() const { return _total; }
+    std::uint64_t bucketCount(std::size_t idx) const;
+    std::uint64_t overflow() const { return _overflow; }
+    double mean() const;
+
+    /** Smallest value v such that at least q of the mass is <= v. */
+    std::uint64_t quantile(double q) const;
+
+    void reset();
+
+  private:
+    std::uint64_t _width;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _total = 0;
+    double _sum = 0.0;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_STATS_HISTOGRAM_HH

@@ -1,0 +1,88 @@
+#include "stats/stats.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+StatBase::StatBase(std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+}
+
+Ratio::Ratio(std::string name, std::string desc, const StatBase &numer,
+             const StatBase &denom)
+    : StatBase(std::move(name), std::move(desc)),
+      _numer(numer),
+      _denom(denom)
+{
+}
+
+double
+Ratio::value() const
+{
+    double d = _denom.value();
+    return d == 0.0 ? 0.0 : _numer.value() / d;
+}
+
+Counter &
+StatRegistry::counter(const std::string &name, const std::string &desc)
+{
+    return static_cast<Counter &>(
+        add(std::make_unique<Counter>(name, desc)));
+}
+
+Average &
+StatRegistry::average(const std::string &name, const std::string &desc)
+{
+    return static_cast<Average &>(
+        add(std::make_unique<Average>(name, desc)));
+}
+
+Ratio &
+StatRegistry::ratio(const std::string &name, const std::string &desc,
+                    const StatBase &numer, const StatBase &denom)
+{
+    return static_cast<Ratio &>(
+        add(std::make_unique<Ratio>(name, desc, numer, denom)));
+}
+
+StatBase &
+StatRegistry::add(std::unique_ptr<StatBase> stat)
+{
+    tlbpf_assert(find(stat->name()) == nullptr,
+                 "duplicate stat name '", stat->name(), "'");
+    _stats.push_back(std::move(stat));
+    return *_stats.back();
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &stat : _stats)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &stat : _stats) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", stat->value());
+        os << stat->name() << " " << buf << " # " << stat->desc() << "\n";
+    }
+}
+
+const StatBase *
+StatRegistry::find(const std::string &name) const
+{
+    for (const auto &stat : _stats)
+        if (stat->name() == name)
+            return stat.get();
+    return nullptr;
+}
+
+} // namespace tlbpf

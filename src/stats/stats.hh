@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Lightweight statistics package modeled on gem5's: named scalar
+ * counters, averages and ratio formulas collected into a registry that
+ * can be dumped in a stable, diffable format.
+ */
+
+#ifndef TLBPF_STATS_STATS_HH
+#define TLBPF_STATS_STATS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+class StatRegistry;
+
+/** Base class for all named statistics. */
+class StatBase
+{
+  public:
+    StatBase(std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Current value as a double (for dumping/formulas). */
+    virtual double value() const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** Monotonic event counter. */
+class Counter : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Counter &operator++() { ++_count; return *this; }
+    Counter &operator+=(std::uint64_t n) { _count += n; return *this; }
+
+    std::uint64_t count() const { return _count; }
+    double value() const override
+    {
+        return static_cast<double>(_count);
+    }
+    void reset() override { _count = 0; }
+
+  private:
+    std::uint64_t _count = 0;
+};
+
+/** Running mean of samples. */
+class Average : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void sample(double v)
+    {
+        _sum += v;
+        ++_n;
+    }
+
+    std::uint64_t samples() const { return _n; }
+    double value() const override { return _n ? _sum / _n : 0.0; }
+    void reset() override
+    {
+        _sum = 0.0;
+        _n = 0;
+    }
+
+  private:
+    double _sum = 0.0;
+    std::uint64_t _n = 0;
+};
+
+/** Ratio of two other stats, evaluated lazily at dump time. */
+class Ratio : public StatBase
+{
+  public:
+    Ratio(std::string name, std::string desc, const StatBase &numer,
+          const StatBase &denom);
+
+    double value() const override;
+    void reset() override {}
+
+  private:
+    const StatBase &_numer;
+    const StatBase &_denom;
+};
+
+/**
+ * Owns a set of statistics and dumps them in registration order.
+ *
+ * Components create their stats through the registry so a simulator
+ * run's full state can be printed with one call.
+ */
+class StatRegistry
+{
+  public:
+    /** Create and register a counter. */
+    Counter &counter(const std::string &name, const std::string &desc);
+
+    /** Create and register an average. */
+    Average &average(const std::string &name, const std::string &desc);
+
+    /** Create and register a ratio over two existing stats. */
+    Ratio &ratio(const std::string &name, const std::string &desc,
+                 const StatBase &numer, const StatBase &denom);
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    /** Print "name value # desc" lines, gem5-style. */
+    void dump(std::ostream &os) const;
+
+    /** Find a stat by name; nullptr if missing. */
+    const StatBase *find(const std::string &name) const;
+
+    std::size_t size() const { return _stats.size(); }
+
+  private:
+    StatBase &add(std::unique_ptr<StatBase> stat);
+
+    std::vector<std::unique_ptr<StatBase>> _stats;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_STATS_STATS_HH

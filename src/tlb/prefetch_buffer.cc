@@ -1,0 +1,62 @@
+#include "tlb/prefetch_buffer.hh"
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+PrefetchBuffer::PrefetchBuffer(std::uint32_t entries)
+    : _capacity(entries)
+{
+    tlbpf_assert(entries > 0, "prefetch buffer needs at least one entry");
+}
+
+bool
+PrefetchBuffer::hitAndPromote(Vpn vpn, Tick &ready_at)
+{
+    auto it = _index.find(vpn);
+    if (it == _index.end())
+        return false;
+    ready_at = it->second->readyAt;
+    _lru.erase(it->second);
+    _index.erase(it);
+    ++_hits;
+    return true;
+}
+
+bool
+PrefetchBuffer::contains(Vpn vpn) const
+{
+    return _index.count(vpn) > 0;
+}
+
+void
+PrefetchBuffer::insert(Vpn vpn, Tick ready_at)
+{
+    auto it = _index.find(vpn);
+    if (it != _index.end()) {
+        // Refresh: move to MRU and keep the earlier ready time (the
+        // data is already on its way).
+        it->second->readyAt = std::min(it->second->readyAt, ready_at);
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return;
+    }
+    if (_lru.size() >= _capacity) {
+        const Node &victim = _lru.back();
+        _index.erase(victim.vpn);
+        _lru.pop_back();
+        ++_evictedUnused;
+    }
+    _lru.push_front(Node{vpn, ready_at});
+    _index[vpn] = _lru.begin();
+    ++_inserts;
+}
+
+void
+PrefetchBuffer::flush()
+{
+    _lru.clear();
+    _index.clear();
+}
+
+} // namespace tlbpf

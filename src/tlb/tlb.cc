@@ -1,0 +1,113 @@
+#include "tlb/tlb.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+Tlb::Tlb(const TlbConfig &config)
+    : _config(config)
+{
+    tlbpf_assert(config.entries > 0, "TLB needs at least one entry");
+    if (config.assoc == 0) {
+        _ways = config.entries;
+    } else {
+        tlbpf_assert(config.entries % config.assoc == 0,
+                     "TLB entries (", config.entries,
+                     ") must be a multiple of associativity (",
+                     config.assoc, ")");
+        tlbpf_assert(isPowerOfTwo(config.numSets()),
+                     "number of TLB sets must be a power of two");
+        _ways = config.assoc;
+    }
+    _entries.resize(static_cast<std::size_t>(_config.numSets()) * _ways);
+}
+
+std::size_t
+Tlb::setIndex(Vpn vpn) const
+{
+    return (vpn & (_config.numSets() - 1)) * _ways;
+}
+
+Tlb::Entry *
+Tlb::findEntry(Vpn vpn)
+{
+    std::size_t base = setIndex(vpn);
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Entry &e = _entries[base + w];
+        if (e.valid && e.vpn == vpn)
+            return &e;
+    }
+    return nullptr;
+}
+
+const Tlb::Entry *
+Tlb::findEntry(Vpn vpn) const
+{
+    return const_cast<Tlb *>(this)->findEntry(vpn);
+}
+
+bool
+Tlb::access(Vpn vpn)
+{
+    Entry *e = findEntry(vpn);
+    if (!e)
+        return false;
+    e->lastUse = ++_clock;
+    return true;
+}
+
+bool
+Tlb::contains(Vpn vpn) const
+{
+    return findEntry(vpn) != nullptr;
+}
+
+std::optional<Vpn>
+Tlb::insert(Vpn vpn)
+{
+    tlbpf_assert(!contains(vpn), "double insert of VPN ", vpn);
+    std::size_t base = setIndex(vpn);
+    Entry *victim = nullptr;
+    for (std::size_t w = 0; w < _ways; ++w) {
+        Entry &e = _entries[base + w];
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (!victim || e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    std::optional<Vpn> evicted;
+    if (victim->valid) {
+        evicted = victim->vpn;
+    } else {
+        ++_resident;
+    }
+    victim->vpn = vpn;
+    victim->valid = true;
+    victim->lastUse = ++_clock;
+    return evicted;
+}
+
+bool
+Tlb::invalidate(Vpn vpn)
+{
+    Entry *e = findEntry(vpn);
+    if (!e)
+        return false;
+    e->valid = false;
+    --_resident;
+    return true;
+}
+
+void
+Tlb::flush()
+{
+    for (Entry &e : _entries)
+        e.valid = false;
+    _resident = 0;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,61 @@
+#include "tlb/two_level.hh"
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1, const TlbConfig &l2)
+    : _l1(l1), _l2(l2)
+{
+    tlbpf_assert(l2.entries >= l1.entries,
+                 "inclusive hierarchy needs L2 at least as large as L1");
+}
+
+void
+TwoLevelTlb::promote(Vpn vpn)
+{
+    // The L1 victim simply falls back to the L2, where it already
+    // resides (inclusion).
+    _l1.insert(vpn);
+}
+
+TlbLevelHit
+TwoLevelTlb::access(Vpn vpn)
+{
+    ++_accesses;
+    if (_l1.access(vpn))
+        return TlbLevelHit::L1;
+    ++_l1Misses;
+    if (_l2.access(vpn)) {
+        promote(vpn);
+        return TlbLevelHit::L2;
+    }
+    ++_l2Misses;
+    return TlbLevelHit::Miss;
+}
+
+std::optional<Vpn>
+TwoLevelTlb::insert(Vpn vpn)
+{
+    std::optional<Vpn> l2_victim = _l2.insert(vpn);
+    if (l2_victim)
+        _l1.invalidate(*l2_victim); // preserve inclusion
+    promote(vpn);
+    return l2_victim;
+}
+
+bool
+TwoLevelTlb::contains(Vpn vpn) const
+{
+    return _l1.contains(vpn) || _l2.contains(vpn);
+}
+
+void
+TwoLevelTlb::flush()
+{
+    _l1.flush();
+    _l2.flush();
+}
+
+} // namespace tlbpf

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Two-level d-TLB hierarchy.
+ *
+ * The paper lists multilevel TLB hierarchies among the hardware
+ * approaches to TLB performance (Section 1) and evaluates prefetching
+ * at a single level; this substrate lets the benches explore where a
+ * prefetcher should sit in a two-level organisation.  The L2 is
+ * inclusive of the L1: an L1 victim remains in the L2, an L2 victim is
+ * back-invalidated from the L1.
+ */
+
+#ifndef TLBPF_TLB_TWO_LEVEL_HH
+#define TLBPF_TLB_TWO_LEVEL_HH
+
+#include <optional>
+
+#include "tlb/tlb.hh"
+
+namespace tlbpf
+{
+
+/** Outcome of a two-level lookup. */
+enum class TlbLevelHit
+{
+    L1,  ///< hit in the first level
+    L2,  ///< missed L1, hit L2 (entry promoted to L1)
+    Miss ///< missed both levels
+};
+
+/** Inclusive two-level TLB. */
+class TwoLevelTlb
+{
+  public:
+    TwoLevelTlb(const TlbConfig &l1, const TlbConfig &l2);
+
+    /**
+     * Probe both levels, promoting on an L2 hit.
+     * @return where the translation was found.
+     */
+    TlbLevelHit access(Vpn vpn);
+
+    /**
+     * Install a missing translation in both levels.
+     * @return the page evicted from the L2 (the hierarchy's true
+     *         eviction, which RP's stack should observe), if any.
+     */
+    std::optional<Vpn> insert(Vpn vpn);
+
+    /** Resident in either level, without recency updates. */
+    bool contains(Vpn vpn) const;
+
+    void flush();
+
+    const Tlb &l1() const { return _l1; }
+    const Tlb &l2() const { return _l2; }
+
+    std::uint64_t l1Misses() const { return _l1Misses; }
+    std::uint64_t l2Misses() const { return _l2Misses; }
+    std::uint64_t accesses() const { return _accesses; }
+
+  private:
+    /** Move @p vpn into the L1, handling the L1 victim (stays in L2). */
+    void promote(Vpn vpn);
+
+    Tlb _l1;
+    Tlb _l2;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _l1Misses = 0;
+    std::uint64_t _l2Misses = 0;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_TLB_TWO_LEVEL_HH

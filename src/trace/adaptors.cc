@@ -1,0 +1,181 @@
+#include "trace/adaptors.hh"
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+TakeStream::TakeStream(std::unique_ptr<RefStream> inner,
+                       std::uint64_t limit)
+    : _inner(std::move(inner)), _limit(limit)
+{
+    tlbpf_assert(_inner != nullptr, "TakeStream needs a stream");
+}
+
+bool
+TakeStream::next(MemRef &ref)
+{
+    if (_taken >= _limit)
+        return false;
+    if (!_inner->next(ref))
+        return false;
+    ++_taken;
+    return true;
+}
+
+void
+TakeStream::reset()
+{
+    _inner->reset();
+    _taken = 0;
+}
+
+std::string
+TakeStream::describe() const
+{
+    return "take(" + std::to_string(_limit) + ", " + _inner->describe() +
+           ")";
+}
+
+SkipStream::SkipStream(std::unique_ptr<RefStream> inner,
+                       std::uint64_t count)
+    : _inner(std::move(inner)), _count(count)
+{
+    tlbpf_assert(_inner != nullptr, "SkipStream needs a stream");
+}
+
+bool
+SkipStream::next(MemRef &ref)
+{
+    if (!_skipped) {
+        MemRef scratch;
+        for (std::uint64_t i = 0; i < _count; ++i) {
+            if (!_inner->next(scratch))
+                break;
+        }
+        _skipped = true;
+    }
+    return _inner->next(ref);
+}
+
+void
+SkipStream::reset()
+{
+    _inner->reset();
+    _skipped = false;
+}
+
+std::string
+SkipStream::describe() const
+{
+    return "skip(" + std::to_string(_count) + ", " + _inner->describe() +
+           ")";
+}
+
+InterleaveStream::InterleaveStream(
+    std::vector<std::unique_ptr<RefStream>> inners,
+    std::vector<std::uint32_t> weights)
+    : _inners(std::move(inners)), _weights(std::move(weights))
+{
+    tlbpf_assert(!_inners.empty(), "InterleaveStream needs streams");
+    tlbpf_assert(_inners.size() == _weights.size(),
+                 "one weight per stream required");
+    for (auto w : _weights)
+        tlbpf_assert(w > 0, "weights must be positive");
+    _done.assign(_inners.size(), false);
+}
+
+void
+InterleaveStream::advanceCursor()
+{
+    _cursor = (_cursor + 1) % _inners.size();
+    _emitted = 0;
+}
+
+bool
+InterleaveStream::next(MemRef &ref)
+{
+    for (std::size_t attempts = 0; attempts < _inners.size();) {
+        if (_done[_cursor]) {
+            advanceCursor();
+            ++attempts;
+            continue;
+        }
+        if (_emitted >= _weights[_cursor]) {
+            advanceCursor();
+            // A full weight quantum was emitted; this is rotation, not
+            // failure, so the exhaustion counter restarts.
+            attempts = 0;
+            continue;
+        }
+        if (_inners[_cursor]->next(ref)) {
+            ++_emitted;
+            return true;
+        }
+        _done[_cursor] = true;
+        advanceCursor();
+        ++attempts;
+    }
+    return false;
+}
+
+void
+InterleaveStream::reset()
+{
+    for (auto &inner : _inners)
+        inner->reset();
+    _done.assign(_inners.size(), false);
+    _cursor = 0;
+    _emitted = 0;
+}
+
+std::string
+InterleaveStream::describe() const
+{
+    std::string out = "interleave(";
+    for (std::size_t i = 0; i < _inners.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += _inners[i]->describe();
+    }
+    return out + ")";
+}
+
+ConcatStream::ConcatStream(std::vector<std::unique_ptr<RefStream>> inners)
+    : _inners(std::move(inners))
+{
+    tlbpf_assert(!_inners.empty(), "ConcatStream needs streams");
+}
+
+bool
+ConcatStream::next(MemRef &ref)
+{
+    while (_cursor < _inners.size()) {
+        if (_inners[_cursor]->next(ref))
+            return true;
+        ++_cursor;
+    }
+    return false;
+}
+
+void
+ConcatStream::reset()
+{
+    for (auto &inner : _inners)
+        inner->reset();
+    _cursor = 0;
+}
+
+std::string
+ConcatStream::describe() const
+{
+    std::string out = "concat(";
+    for (std::size_t i = 0; i < _inners.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += _inners[i]->describe();
+    }
+    return out + ")";
+}
+
+} // namespace tlbpf

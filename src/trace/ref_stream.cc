@@ -1,0 +1,48 @@
+#include "trace/ref_stream.hh"
+
+#include <unordered_set>
+
+namespace tlbpf
+{
+
+VectorStream::VectorStream(std::vector<MemRef> refs)
+    : _refs(std::move(refs))
+{
+}
+
+bool
+VectorStream::next(MemRef &ref)
+{
+    if (_pos >= _refs.size())
+        return false;
+    ref = _refs[_pos++];
+    return true;
+}
+
+std::string
+VectorStream::describe() const
+{
+    return "vector[" + std::to_string(_refs.size()) + "]";
+}
+
+std::vector<MemRef>
+collect(RefStream &stream, std::size_t max_refs)
+{
+    std::vector<MemRef> out;
+    MemRef ref;
+    while (out.size() < max_refs && stream.next(ref))
+        out.push_back(ref);
+    return out;
+}
+
+std::uint64_t
+distinctPages(RefStream &stream, std::uint64_t page_bytes)
+{
+    std::unordered_set<Vpn> pages;
+    MemRef ref;
+    while (stream.next(ref))
+        pages.insert(ref.vpn(page_bytes));
+    return pages.size();
+}
+
+} // namespace tlbpf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Memory-reference records and the pull-based stream abstraction that
+ * feeds the simulators.
+ *
+ * The paper drives its evaluation with the data-reference streams of 56
+ * applications (SimpleScalar sim-cache for SPEC, Shade for the rest).
+ * Here a reference stream is anything implementing RefStream: synthetic
+ * workload generators, in-memory vectors, or binary trace files.
+ */
+
+#ifndef TLBPF_TRACE_REF_STREAM_HH
+#define TLBPF_TRACE_REF_STREAM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** Virtual address type. */
+using Addr = std::uint64_t;
+
+/** Virtual page number type. */
+using Vpn = std::uint64_t;
+
+/** Default page size used throughout the paper's evaluation. */
+constexpr std::uint64_t kDefaultPageBytes = 4096;
+
+/** One data memory reference. */
+struct MemRef
+{
+    Addr vaddr = 0;      ///< virtual byte address referenced
+    Addr pc = 0;         ///< program counter of the access instruction
+    bool isWrite = false;///< load vs store
+    /**
+     * Dynamic instruction count at this reference; lets the timing
+     * model convert a reference stream back into instruction counts.
+     */
+    std::uint64_t icount = 0;
+
+    /** Virtual page number under the given page size. */
+    Vpn
+    vpn(std::uint64_t page_bytes = kDefaultPageBytes) const
+    {
+        return vaddr / page_bytes;
+    }
+
+    bool operator==(const MemRef &other) const = default;
+};
+
+/**
+ * Pull-based reference stream.
+ *
+ * next() fills @p ref and returns true, or returns false at end of
+ * stream.  Streams are single-pass; use reset() to rewind when the
+ * concrete stream supports it (all synthetic generators do).
+ */
+class RefStream
+{
+  public:
+    virtual ~RefStream() = default;
+
+    /** Produce the next reference; false at end of stream. */
+    virtual bool next(MemRef &ref) = 0;
+
+    /** Rewind to the beginning (regenerates identically). */
+    virtual void reset() = 0;
+
+    /** Short human-readable description for logs. */
+    virtual std::string describe() const = 0;
+};
+
+/** Stream over an in-memory vector of references. */
+class VectorStream : public RefStream
+{
+  public:
+    explicit VectorStream(std::vector<MemRef> refs);
+
+    bool next(MemRef &ref) override;
+    void reset() override { _pos = 0; }
+    std::string describe() const override;
+
+    std::size_t size() const { return _refs.size(); }
+
+  private:
+    std::vector<MemRef> _refs;
+    std::size_t _pos = 0;
+};
+
+/** Drain a stream into a vector (testing convenience). */
+std::vector<MemRef> collect(RefStream &stream,
+                            std::size_t max_refs = SIZE_MAX);
+
+/** Count the distinct pages touched by a stream (consumes it). */
+std::uint64_t distinctPages(RefStream &stream,
+                            std::uint64_t page_bytes = kDefaultPageBytes);
+
+} // namespace tlbpf
+
+#endif // TLBPF_TRACE_REF_STREAM_HH

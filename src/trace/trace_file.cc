@@ -1,0 +1,189 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'T', 'P', 'F', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+struct Header
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : _path(path)
+{
+    _file = std::fopen(path.c_str(), "wb");
+    if (!_file)
+        tlbpf_fatal("cannot open trace file '", path, "' for writing");
+    _open = true;
+    Header hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kVersion;
+    hdr.count = 0; // patched in close()
+    if (std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1)
+        tlbpf_fatal("cannot write trace header to '", path, "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        std::fputc(static_cast<int>(v & 0x7f) | 0x80, _file);
+        v >>= 7;
+    }
+    std::fputc(static_cast<int>(v), _file);
+}
+
+void
+TraceWriter::write(const MemRef &ref)
+{
+    tlbpf_assert(_open, "write to closed TraceWriter");
+    // Record: flags byte, then zigzag deltas of vaddr/pc and icount
+    // delta.  Flag bit 0 = write access.
+    std::uint8_t flags = ref.isWrite ? 1 : 0;
+    std::fputc(flags, _file);
+    putVarint(zigZagEncode(static_cast<std::int64_t>(ref.vaddr) -
+                           static_cast<std::int64_t>(_prev.vaddr)));
+    putVarint(zigZagEncode(static_cast<std::int64_t>(ref.pc) -
+                           static_cast<std::int64_t>(_prev.pc)));
+    putVarint(ref.icount - _prev.icount);
+    _prev = ref;
+    ++_count;
+}
+
+void
+TraceWriter::close()
+{
+    if (!_open)
+        return;
+    Header hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kVersion;
+    hdr.count = _count;
+    std::fseek(_file, 0, SEEK_SET);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1)
+        tlbpf_fatal("cannot patch trace header in '", _path, "'");
+    std::fclose(_file);
+    _file = nullptr;
+    _open = false;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : _path(path)
+{
+    _file = std::fopen(path.c_str(), "rb");
+    if (!_file)
+        tlbpf_fatal("cannot open trace file '", path, "'");
+    readHeader();
+}
+
+TraceReader::~TraceReader()
+{
+    if (_file)
+        std::fclose(_file);
+}
+
+void
+TraceReader::readHeader()
+{
+    Header hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, _file) != 1)
+        tlbpf_fatal("trace file '", _path, "' truncated header");
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        tlbpf_fatal("trace file '", _path, "' has bad magic");
+    if (hdr.version != kVersion)
+        tlbpf_fatal("trace file '", _path, "' has unsupported version ",
+                    hdr.version);
+    _count = hdr.count;
+}
+
+bool
+TraceReader::getVarint(std::uint64_t &v)
+{
+    v = 0;
+    int shift = 0;
+    while (true) {
+        int byte = std::fgetc(_file);
+        if (byte == EOF)
+            return false;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+        if (shift > 63)
+            tlbpf_fatal("trace file '", _path, "' has malformed varint");
+    }
+}
+
+bool
+TraceReader::next(MemRef &ref)
+{
+    if (_readSoFar >= _count)
+        return false;
+    int flags = std::fgetc(_file);
+    if (flags == EOF)
+        tlbpf_fatal("trace file '", _path, "' truncated at record ",
+                    _readSoFar);
+    std::uint64_t dv = 0;
+    std::uint64_t dp = 0;
+    std::uint64_t di = 0;
+    if (!getVarint(dv) || !getVarint(dp) || !getVarint(di))
+        tlbpf_fatal("trace file '", _path, "' truncated at record ",
+                    _readSoFar);
+    ref.isWrite = (flags & 1) != 0;
+    ref.vaddr = static_cast<Addr>(static_cast<std::int64_t>(_prev.vaddr) +
+                                  zigZagDecode(dv));
+    ref.pc = static_cast<Addr>(static_cast<std::int64_t>(_prev.pc) +
+                               zigZagDecode(dp));
+    ref.icount = _prev.icount + di;
+    _prev = ref;
+    ++_readSoFar;
+    return true;
+}
+
+void
+TraceReader::reset()
+{
+    std::fseek(_file, 0, SEEK_SET);
+    readHeader();
+    _readSoFar = 0;
+    _prev = MemRef{};
+}
+
+std::string
+TraceReader::describe() const
+{
+    return "trace(" + _path + ", " + std::to_string(_count) + ")";
+}
+
+std::uint64_t
+dumpTrace(RefStream &stream, const std::string &path)
+{
+    TraceWriter writer(path);
+    MemRef ref;
+    while (stream.next(ref))
+        writer.write(ref);
+    writer.close();
+    return writer.written();
+}
+
+} // namespace tlbpf

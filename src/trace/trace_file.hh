@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Binary trace file format so reference streams can be captured once
+ * and replayed (the Etch-traces analogue in this reproduction).
+ *
+ * Format: 16-byte header (magic "TPFT", version, page size, count)
+ * followed by delta-encoded varint records.  Delta/varint encoding
+ * keeps strided traces compact (~2-4 bytes per reference).
+ */
+
+#ifndef TLBPF_TRACE_TRACE_FILE_HH
+#define TLBPF_TRACE_TRACE_FILE_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/ref_stream.hh"
+
+namespace tlbpf
+{
+
+/** Writes a reference stream to a binary trace file. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append a record. */
+    void write(const MemRef &ref);
+
+    /** Finalize the header and close; safe to call twice. */
+    void close();
+
+    std::uint64_t written() const { return _count; }
+
+  private:
+    void putVarint(std::uint64_t v);
+
+    std::FILE *_file = nullptr;
+    std::string _path;
+    std::uint64_t _count = 0;
+    MemRef _prev;
+    bool _open = false;
+};
+
+/** Replays a binary trace file as a RefStream. */
+class TraceReader : public RefStream
+{
+  public:
+    /** Open @p path; fatal if missing or malformed. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(MemRef &ref) override;
+    void reset() override;
+    std::string describe() const override;
+
+    std::uint64_t count() const { return _count; }
+
+  private:
+    bool getVarint(std::uint64_t &v);
+    void readHeader();
+
+    std::FILE *_file = nullptr;
+    std::string _path;
+    std::uint64_t _count = 0;
+    std::uint64_t _readSoFar = 0;
+    MemRef _prev;
+};
+
+/** Copy an entire stream into a trace file; returns records written. */
+std::uint64_t dumpTrace(RefStream &stream, const std::string &path);
+
+} // namespace tlbpf
+
+#endif // TLBPF_TRACE_TRACE_FILE_HH

@@ -1,0 +1,121 @@
+#include "util/cli.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+CliArgs::CliArgs(int argc, const char *const *argv,
+                 const std::vector<std::string> &known)
+{
+    auto is_known = [&known](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name;
+        std::string value;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            name = body;
+            // Consume a following value token if it is not an option.
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            }
+        }
+        if (!is_known(name))
+            tlbpf_fatal("unknown option --", name);
+        _options[name] = value;
+    }
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return _options.count(name) > 0;
+}
+
+std::string
+CliArgs::get(const std::string &name, const std::string &dflt) const
+{
+    auto it = _options.find(name);
+    return it == _options.end() ? dflt : it->second;
+}
+
+std::int64_t
+CliArgs::getInt(const std::string &name, std::int64_t dflt) const
+{
+    auto it = _options.find(name);
+    if (it == _options.end())
+        return dflt;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        tlbpf_fatal("option --", name, " expects an integer, got '",
+                    it->second, "'");
+    return v;
+}
+
+double
+CliArgs::getDouble(const std::string &name, double dflt) const
+{
+    auto it = _options.find(name);
+    if (it == _options.end())
+        return dflt;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        tlbpf_fatal("option --", name, " expects a number, got '",
+                    it->second, "'");
+    return v;
+}
+
+std::vector<std::int64_t>
+parseIntList(const std::string &spec)
+{
+    std::vector<std::int64_t> out;
+    std::string token;
+    for (std::size_t i = 0; i <= spec.size(); ++i) {
+        if (i == spec.size() || spec[i] == ',') {
+            if (!token.empty()) {
+                out.push_back(std::strtoll(token.c_str(), nullptr, 0));
+                token.clear();
+            }
+        } else {
+            token.push_back(spec[i]);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+parseStringList(const std::string &spec)
+{
+    std::vector<std::string> out;
+    std::string token;
+    for (std::size_t i = 0; i <= spec.size(); ++i) {
+        if (i == spec.size() || spec[i] == ',') {
+            if (!token.empty()) {
+                out.push_back(token);
+                token.clear();
+            }
+        } else {
+            token.push_back(spec[i]);
+        }
+    }
+    return out;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal command-line option parser for bench/example binaries.
+ *
+ * Supports --name=value, --name value, and bare --flag forms.  Unknown
+ * options are fatal so that typos in sweep scripts fail loudly.
+ */
+
+#ifndef TLBPF_UTIL_CLI_HH
+#define TLBPF_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** Parsed command line with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parse argv.  @p known lists the accepted option names (without the
+     * leading dashes); anything else is a fatal error.
+     */
+    CliArgs(int argc, const char *const *argv,
+            const std::vector<std::string> &known);
+
+    /** True if --name was present (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p dflt if absent. */
+    std::string get(const std::string &name,
+                    const std::string &dflt = "") const;
+
+    /** Integer value of --name, or @p dflt if absent. */
+    std::int64_t getInt(const std::string &name, std::int64_t dflt) const;
+
+    /** Double value of --name, or @p dflt if absent. */
+    double getDouble(const std::string &name, double dflt) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+  private:
+    std::map<std::string, std::string> _options;
+    std::vector<std::string> _positional;
+};
+
+/** Split a comma-separated list like "32,64,128" into integers. */
+std::vector<std::int64_t> parseIntList(const std::string &spec);
+
+/** Split a comma-separated list into strings. */
+std::vector<std::string> parseStringList(const std::string &spec);
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_CLI_HH

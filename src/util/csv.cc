@@ -1,0 +1,59 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : _out(path)
+{
+    if (!_out)
+        tlbpf_fatal("cannot open CSV output file '", path, "'");
+    _open = true;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    tlbpf_assert(_open, "write to closed CsvWriter");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            _out << ',';
+        _out << quote(cells[i]);
+    }
+    _out << '\n';
+}
+
+void
+CsvWriter::close()
+{
+    if (_open) {
+        _out.flush();
+        _out.close();
+        _open = false;
+    }
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    bool needs = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace tlbpf

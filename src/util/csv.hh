@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CSV emission for machine-readable experiment output alongside the
+ * human-readable tables.
+ */
+
+#ifndef TLBPF_UTIL_CSV_HH
+#define TLBPF_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** Streams rows of cells into a CSV file with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Opens @p path for writing; fatal on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Flush and close. Safe to call more than once. */
+    void close();
+
+    ~CsvWriter();
+
+    /** Quote a cell if it contains a comma, quote or newline. */
+    static std::string quote(const std::string &cell);
+
+  private:
+    std::ofstream _out;
+    bool _open = false;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_CSV_HH

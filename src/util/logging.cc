@@ -1,0 +1,61 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <exception>
+
+namespace tlbpf
+{
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::emit(const char *label, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", label, msg.c_str());
+    std::fflush(stderr);
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().emit(
+        "panic", format(msg, " @ ", file, ":", line));
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().emit(
+        "fatal", format(msg, " @ ", file, ":", line));
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    auto &logger = Logger::instance();
+    logger.countWarning();
+    if (logger.level() != LogLevel::Quiet)
+        logger.emit("warn", msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    auto &logger = Logger::instance();
+    if (logger.level() != LogLevel::Quiet)
+        logger.emit("info", msg);
+}
+
+} // namespace detail
+
+} // namespace tlbpf

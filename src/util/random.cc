@@ -1,0 +1,143 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : _s)
+        word = splitMix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const std::uint64_t t = _s[1] << 17;
+
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    tlbpf_assert(bound > 0, "nextBelow bound must be positive");
+    // Lemire's nearly-divisionless bounded sampling.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    tlbpf_assert(lo <= hi, "nextRange requires lo <= hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew)
+    : _n(n), _skew(skew)
+{
+    tlbpf_assert(n > 0, "ZipfSampler requires n > 0");
+    tlbpf_assert(skew > 0.0 && skew != 1.0,
+                 "ZipfSampler skew must be positive and != 1");
+    _hx0 = h(0.5) - 1.0;
+    _hxn = h(_n + 0.5);
+    _cut = 1.0 - hInv(h(1.5) - 1.0);
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::pow(x, 1.0 - _skew) / (1.0 - _skew);
+}
+
+double
+ZipfSampler::hInv(double x) const
+{
+    return std::pow((1.0 - _skew) * x, 1.0 / (1.0 - _skew));
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    while (true) {
+        double u = _hxn + rng.nextDouble() * (_hx0 - _hxn);
+        double x = hInv(u);
+        auto k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > _n)
+            k = _n;
+        if (k - x <= _cut || u >= h(k + 0.5) - std::pow(k, -_skew))
+            return k - 1; // ranks are zero-based
+    }
+}
+
+} // namespace tlbpf

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for reproducible
+ * workload synthesis.
+ *
+ * All workload generators draw from Rng so that every experiment is
+ * bit-for-bit reproducible given the seed recorded in the app registry.
+ * The implementation is xoshiro256** seeded through SplitMix64, which is
+ * fast, has a 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef TLBPF_UTIL_RANDOM_HH
+#define TLBPF_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** SplitMix64 step; used for seeding and as a cheap hash. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix (Stafford variant 13); good avalanche. */
+std::uint64_t mix64(std::uint64_t x);
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound); bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t _s[4];
+};
+
+/**
+ * Zipf-distributed integer sampler over [0, n).
+ *
+ * Uses the rejection-inversion method of Hormann & Derflinger so that
+ * construction is O(1) and sampling is O(1) expected, independent of n.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n    number of items (ranks 0..n-1, rank 0 most popular)
+     * @param skew Zipf exponent (typical 0.8-1.2)
+     */
+    ZipfSampler(std::uint64_t n, double skew);
+
+    /** Draw one rank. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t n() const { return _n; }
+    double skew() const { return _skew; }
+
+  private:
+    double h(double x) const;
+    double hInv(double x) const;
+
+    std::uint64_t _n;
+    double _skew;
+    double _hx0;
+    double _hxn;
+    double _cut;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_RANDOM_HH

@@ -1,0 +1,82 @@
+#include "util/table_printer.hh"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : _header(std::move(header))
+{
+    tlbpf_assert(!_header.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    tlbpf_assert(cells.size() == _header.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 _header.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        width[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+
+    if (!_caption.empty())
+        os << _caption << "\n";
+    emit_row(_header);
+    os << "|";
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : _rows)
+        emit_row(row);
+}
+
+void
+TablePrinter::print() const
+{
+    print(std::cout);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::num(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+TablePrinter::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace tlbpf

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * ASCII table emitter used by the bench binaries to print paper-style
+ * tables and figure series.
+ */
+
+#ifndef TLBPF_UTIL_TABLE_PRINTER_HH
+#define TLBPF_UTIL_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns, a header rule and an optional caption.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Set a caption printed above the table. */
+    void caption(std::string text) { _caption = std::move(text); }
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(std::int64_t v);
+    static std::string num(std::uint64_t v);
+
+  private:
+    std::string _caption;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_TABLE_PRINTER_HH

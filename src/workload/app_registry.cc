@@ -1,0 +1,80 @@
+#include "workload/app_registry.hh"
+
+#include "trace/adaptors.hh"
+#include "util/logging.hh"
+#include "workload/generators.hh"
+
+namespace tlbpf
+{
+
+const std::vector<AppModel> &
+appRegistry()
+{
+    static const std::vector<AppModel> registry = [] {
+        std::vector<AppModel> models;
+        detail::addSpecModels(models);
+        detail::addMediaModels(models);
+        detail::addEtchAndPtrModels(models);
+        tlbpf_assert(models.size() == 56,
+                     "expected 56 application models, got ",
+                     models.size());
+        return models;
+    }();
+    return registry;
+}
+
+const AppModel &
+findApp(const std::string &name)
+{
+    for (const AppModel &app : appRegistry())
+        if (app.name == name)
+            return app;
+    tlbpf_fatal("unknown application model '", name, "'");
+}
+
+std::vector<const AppModel *>
+appsInSuite(const std::string &suite)
+{
+    std::vector<const AppModel *> out;
+    for (const AppModel &app : appRegistry())
+        if (app.suite == suite)
+            out.push_back(&app);
+    return out;
+}
+
+std::unique_ptr<RefStream>
+buildApp(const AppModel &app, std::uint64_t refs)
+{
+    tlbpf_assert(refs > 0, "need a positive reference budget");
+    auto raw = app.build(refs);
+    auto taken = std::make_unique<TakeStream>(std::move(raw), refs);
+    return std::make_unique<PaceStream>(std::move(taken),
+                                        app.instrPerRef);
+}
+
+std::unique_ptr<RefStream>
+buildApp(const std::string &name, std::uint64_t refs)
+{
+    return buildApp(findApp(name), refs);
+}
+
+const std::vector<std::string> &
+highMissRateApps()
+{
+    static const std::vector<std::string> apps = {
+        "vpr", "mcf", "twolf", "galgel",
+        "ammp", "lucas", "apsi", "adpcm-enc",
+    };
+    return apps;
+}
+
+const std::vector<std::string> &
+table3Apps()
+{
+    static const std::vector<std::string> apps = {
+        "ammp", "mcf", "vpr", "twolf", "lucas",
+    };
+    return apps;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Registry of the 56 application models the paper evaluates: all 26
+ * SPEC CPU2000 applications, 20 MediaBench applications, 5 Etch traces
+ * and 5 Pointer-Intensive benchmarks.
+ *
+ * Each model is a parameterised composition of the synthetic
+ * generators, calibrated to reproduce the *pattern class* the paper
+ * reports for that application (which mechanisms succeed, roughly what
+ * the TLB miss rate is).  See DESIGN.md Section 5 for the taxonomy and
+ * the per-group calibration targets.
+ */
+
+#ifndef TLBPF_WORKLOAD_APP_REGISTRY_HH
+#define TLBPF_WORKLOAD_APP_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/ref_stream.hh"
+
+namespace tlbpf
+{
+
+/** One synthetic application model. */
+struct AppModel
+{
+    std::string name;     ///< paper's benchmark name, e.g. "mcf"
+    std::string suite;    ///< SPEC2000 / MediaBench / Etch / PtrIntensive
+    std::string category; ///< narrative group from the paper's analysis
+    double instrPerRef;   ///< instructions per data reference (pacing)
+
+    /**
+     * Build the raw (unpaced, unbounded-ish) stream sized for roughly
+     * @p refs references.
+     */
+    std::function<std::unique_ptr<RefStream>(std::uint64_t refs)> build;
+
+    std::string notes; ///< what the paper says about this application
+};
+
+/** Suite name constants. */
+inline constexpr const char *kSuiteSpec = "SPEC2000";
+inline constexpr const char *kSuiteMedia = "MediaBench";
+inline constexpr const char *kSuiteEtch = "Etch";
+inline constexpr const char *kSuitePtr = "PtrIntensive";
+
+/** All 56 models, SPEC first, in the paper's figure order. */
+const std::vector<AppModel> &appRegistry();
+
+/** Find a model by name (fatal if unknown). */
+const AppModel &findApp(const std::string &name);
+
+/** Models belonging to @p suite, in registry order. */
+std::vector<const AppModel *> appsInSuite(const std::string &suite);
+
+/**
+ * Build a ready-to-simulate stream for @p app: the raw composition,
+ * truncated to exactly @p refs references and paced with the model's
+ * instructions-per-reference ratio.
+ */
+std::unique_ptr<RefStream> buildApp(const AppModel &app,
+                                    std::uint64_t refs);
+
+/** Convenience: buildApp(findApp(name), refs). */
+std::unique_ptr<RefStream> buildApp(const std::string &name,
+                                    std::uint64_t refs);
+
+/** The 8 highest-TLB-miss-rate applications used in Figure 9. */
+const std::vector<std::string> &highMissRateApps();
+
+/** The 5 applications in the paper's Table 3 cycle comparison. */
+const std::vector<std::string> &table3Apps();
+
+namespace detail
+{
+/** Per-suite model providers (one translation unit each). */
+void addSpecModels(std::vector<AppModel> &models);
+void addMediaModels(std::vector<AppModel> &models);
+void addEtchAndPtrModels(std::vector<AppModel> &models);
+} // namespace detail
+
+} // namespace tlbpf
+
+#endif // TLBPF_WORKLOAD_APP_REGISTRY_HH

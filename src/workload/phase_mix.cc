@@ -1,0 +1,100 @@
+#include "workload/phase_mix.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    tlbpf_assert(b > 0, "division by zero");
+    return (a + b - 1) / b;
+}
+
+std::unique_ptr<RefStream>
+makeLoopedScan(Vpn base_page, std::int64_t stride_bytes,
+               std::uint64_t footprint_pages, std::uint64_t total_refs,
+               Addr pc, std::uint32_t shuffle_block_pages,
+               std::uint64_t seed)
+{
+    tlbpf_assert(stride_bytes != 0, "scan stride cannot be zero");
+    std::uint64_t footprint_bytes = footprint_pages * kDefaultPageBytes;
+    std::uint64_t count =
+        footprint_bytes /
+        static_cast<std::uint64_t>(std::llabs(stride_bytes));
+    tlbpf_assert(count > 0, "footprint smaller than one stride");
+
+    StridedScan::Config config;
+    config.strideBytes = stride_bytes;
+    config.count = count;
+    config.passes =
+        static_cast<std::uint32_t>(ceilDiv(total_refs, count));
+    config.pc = pc;
+    config.shuffleBlockPages = shuffle_block_pages;
+    config.seed = seed;
+    if (stride_bytes > 0) {
+        config.base = base_page * kDefaultPageBytes;
+    } else {
+        config.base = (base_page + footprint_pages) * kDefaultPageBytes -
+                      kDefaultPageBytes;
+    }
+    return std::make_unique<StridedScan>(config);
+}
+
+std::unique_ptr<RefStream>
+makeHistory(HistoryLoop::Config config, std::uint64_t total_refs)
+{
+    std::uint64_t per_pass = config.seqLen * config.refsPerStep;
+    config.passes =
+        static_cast<std::uint32_t>(ceilDiv(total_refs, per_pass));
+    return std::make_unique<HistoryLoop>(config);
+}
+
+std::unique_ptr<RefStream>
+makePattern(DistancePatternWalk::Config config, std::uint64_t total_refs)
+{
+    std::uint64_t per_pass = config.steps * config.refsPerStep;
+    config.passes =
+        static_cast<std::uint32_t>(ceilDiv(total_refs, per_pass));
+    return std::make_unique<DistancePatternWalk>(config);
+}
+
+std::unique_ptr<RefStream>
+makeAlternating(AlternatingPermutations::Config config,
+                std::uint64_t total_refs)
+{
+    std::uint64_t per_round = config.numPages * config.refsPerStep;
+    std::uint64_t rounds = ceilDiv(total_refs, per_round);
+    if (rounds < 4)
+        rounds = 4;
+    if (rounds % 2)
+        ++rounds;
+    config.rounds = static_cast<std::uint32_t>(rounds);
+    return std::make_unique<AlternatingPermutations>(config);
+}
+
+std::unique_ptr<RefStream>
+makeZipf(ZipfMix::Config config, std::uint64_t total_refs)
+{
+    config.steps = ceilDiv(total_refs, config.refsPerStep);
+    return std::make_unique<ZipfMix>(config);
+}
+
+std::unique_ptr<RefStream>
+phases(std::vector<std::unique_ptr<RefStream>> streams)
+{
+    return std::make_unique<ConcatStream>(std::move(streams));
+}
+
+std::unique_ptr<RefStream>
+mixed(std::vector<std::unique_ptr<RefStream>> streams,
+      std::vector<std::uint32_t> weights)
+{
+    return std::make_unique<InterleaveStream>(std::move(streams),
+                                              std::move(weights));
+}
+
+} // namespace tlbpf

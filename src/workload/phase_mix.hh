@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Composition helpers for building application models out of generator
+ * primitives: sizing passes to a target reference budget, sequential
+ * phase concatenation, and weighted interleaving.
+ */
+
+#ifndef TLBPF_WORKLOAD_PHASE_MIX_HH
+#define TLBPF_WORKLOAD_PHASE_MIX_HH
+
+#include <memory>
+#include <vector>
+
+#include "trace/adaptors.hh"
+#include "workload/generators.hh"
+
+namespace tlbpf
+{
+
+/** ceil(a / b) for positive integers. */
+std::uint64_t ceilDiv(std::uint64_t a, std::uint64_t b);
+
+/**
+ * Looped scan over a region of @p footprint_pages pages at
+ * @p stride_bytes, with passes sized to produce ~@p total_refs
+ * references.
+ */
+std::unique_ptr<RefStream>
+makeLoopedScan(Vpn base_page, std::int64_t stride_bytes,
+               std::uint64_t footprint_pages, std::uint64_t total_refs,
+               Addr pc, std::uint32_t shuffle_block_pages = 0,
+               std::uint64_t seed = 1);
+
+/** HistoryLoop with passes sized to ~@p total_refs. */
+std::unique_ptr<RefStream>
+makeHistory(HistoryLoop::Config config, std::uint64_t total_refs);
+
+/** DistancePatternWalk with passes sized to ~@p total_refs. */
+std::unique_ptr<RefStream>
+makePattern(DistancePatternWalk::Config config,
+            std::uint64_t total_refs);
+
+/** AlternatingPermutations with rounds sized to ~@p total_refs. */
+std::unique_ptr<RefStream>
+makeAlternating(AlternatingPermutations::Config config,
+                std::uint64_t total_refs);
+
+/** ZipfMix with steps sized to ~@p total_refs. */
+std::unique_ptr<RefStream>
+makeZipf(ZipfMix::Config config, std::uint64_t total_refs);
+
+/** Sequential phases. */
+std::unique_ptr<RefStream>
+phases(std::vector<std::unique_ptr<RefStream>> streams);
+
+/** Weighted round-robin mix. */
+std::unique_ptr<RefStream>
+mixed(std::vector<std::unique_ptr<RefStream>> streams,
+      std::vector<std::uint32_t> weights);
+
+} // namespace tlbpf
+
+#endif // TLBPF_WORKLOAD_PHASE_MIX_HH

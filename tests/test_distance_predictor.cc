@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the core DistancePredictor — the paper's mechanism in its
+ * generic (unit-agnostic) form, including the worked examples from
+ * Section 2.5.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/distance_predictor.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+std::vector<std::uint64_t>
+observe(DistancePredictor &dp, std::uint64_t unit)
+{
+    std::vector<std::uint64_t> out;
+    dp.observe(unit, out);
+    return out;
+}
+
+DistancePredictorConfig
+config(std::uint32_t rows = 256, std::uint32_t slots = 2,
+       TableAssoc assoc = TableAssoc::Direct)
+{
+    return DistancePredictorConfig{TableConfig{rows, assoc}, slots};
+}
+
+TEST(DistancePredictor, FirstObservationPredictsNothing)
+{
+    DistancePredictor dp(config());
+    EXPECT_TRUE(observe(dp, 100).empty());
+}
+
+TEST(DistancePredictor, SequentialScanPredictsFromSecondDistance)
+{
+    // Units 1,2,3,...: a single "1 -> 1" row suffices (the paper's
+    // sequential example).
+    DistancePredictor dp(config());
+    observe(dp, 1);
+    observe(dp, 2); // dist 1 seen, row for 1 still empty
+    auto p = observe(dp, 3); // row[1] = {1} learned: predict 4
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 4u);
+    EXPECT_LE(dp.tableOccupancy(), 1u);
+}
+
+TEST(DistancePredictor, PaperExampleTwoEntryTable)
+{
+    // The paper's reference string 1, 2, 4, 5, 7, 8: distance 1 is
+    // followed by 2 and vice versa, needing only a 2-entry table.
+    DistancePredictor dp(config(256, 2));
+    observe(dp, 1);
+    observe(dp, 2);           // dist 1
+    observe(dp, 4);           // dist 2, learned 1 -> 2
+    auto at5 = observe(dp, 5);// dist 1, learned 2 -> 1; row[1]={2}
+    ASSERT_EQ(at5.size(), 1u);
+    EXPECT_EQ(at5[0], 7u); // 5 + 2
+    auto at7 = observe(dp, 7); // dist 2; row[2]={1}
+    ASSERT_EQ(at7.size(), 1u);
+    EXPECT_EQ(at7[0], 8u); // 7 + 1
+    EXPECT_EQ(dp.tableOccupancy(), 2u);
+}
+
+TEST(DistancePredictor, NegativeDistancesWork)
+{
+    // Descending scan 100, 99, 98...
+    DistancePredictor dp(config());
+    observe(dp, 100);
+    observe(dp, 99);
+    auto p = observe(dp, 98);
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p[0], 97u);
+}
+
+TEST(DistancePredictor, PredictionsNeverGoNegative)
+{
+    DistancePredictor dp(config());
+    observe(dp, 10);
+    observe(dp, 5); // dist -5
+    auto p = observe(dp, 0); // dist -5 again: would predict -5
+    EXPECT_TRUE(p.empty());
+}
+
+TEST(DistancePredictor, SlotsBoundPredictions)
+{
+    for (std::uint32_t s : {1u, 2u, 4u, 6u}) {
+        DistancePredictor dp(config(256, s));
+        // Distance 1 followed by many different distances.
+        std::uint64_t unit = 1000;
+        observe(dp, unit);
+        std::uint64_t deltas[] = {1, 5, 1, 9, 1, 13, 1, 17, 1, 21};
+        std::size_t max_seen = 0;
+        for (std::uint64_t d : deltas) {
+            unit += d;
+            max_seen = std::max(max_seen, observe(dp, unit).size());
+        }
+        EXPECT_LE(max_seen, s);
+    }
+}
+
+TEST(DistancePredictor, LruSlotKeepsTwoAlternatingFollowers)
+{
+    // Distance 1 alternately followed by +3 and +5: with s=2 both
+    // followers stay resident and both targets are predicted.
+    DistancePredictor dp(config(256, 2));
+    std::uint64_t unit = 100;
+    observe(dp, unit);
+    std::uint64_t deltas[] = {1, 3, 1, 5, 1, 3, 1, 5};
+    std::vector<std::uint64_t> last;
+    for (std::uint64_t d : deltas) {
+        unit += d;
+        last.clear();
+        dp.observe(unit, last);
+    }
+    // unit now at the end of a +5; last observation was distance 5.
+    // Next distance-1 observation should predict both unit+3 and
+    // unit+5.
+    unit += 1;
+    auto p = observe(dp, unit);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_TRUE((p[0] == unit + 3 && p[1] == unit + 5) ||
+                (p[0] == unit + 5 && p[1] == unit + 3));
+}
+
+TEST(DistancePredictor, ResetForgetsEverything)
+{
+    DistancePredictor dp(config());
+    observe(dp, 1);
+    observe(dp, 2);
+    observe(dp, 3);
+    dp.reset();
+    EXPECT_EQ(dp.observations(), 0u);
+    EXPECT_EQ(dp.tableOccupancy(), 0u);
+    observe(dp, 50);
+    EXPECT_TRUE(observe(dp, 51).empty()); // history gone
+}
+
+TEST(DistancePredictor, ObservationCounter)
+{
+    DistancePredictor dp(config());
+    for (std::uint64_t u = 0; u < 10; ++u)
+        observe(dp, u * 2);
+    EXPECT_EQ(dp.observations(), 10u);
+}
+
+TEST(DistancePredictor, StorageBitsScaleWithRowsAndSlots)
+{
+    DistancePredictor small(config(32, 2));
+    DistancePredictor big(config(256, 2));
+    DistancePredictor wide(config(32, 6));
+    EXPECT_LT(small.storageBits(), big.storageBits());
+    EXPECT_LT(small.storageBits(), wide.storageBits());
+    EXPECT_EQ(big.storageBits() % 256, 0u);
+}
+
+TEST(DistancePredictor, SmallTableSufficesForPatternedStream)
+{
+    // A repeating distance pattern with 4 distinct distances needs
+    // only a handful of rows — the paper's key space argument.  Count
+    // correct predictions with a 32-row table vs a 1024-row table.
+    auto run = [](std::uint32_t rows) {
+        DistancePredictor dp(config(rows, 2));
+        std::int64_t pattern[] = {1, 7, -3, 9};
+        std::uint64_t unit = 10000;
+        std::uint64_t correct = 0;
+        std::vector<std::uint64_t> predicted;
+        std::vector<std::uint64_t> p;
+        for (int i = 0; i < 4000; ++i) {
+            bool was_predicted =
+                std::find(predicted.begin(), predicted.end(), unit) !=
+                predicted.end();
+            correct += was_predicted;
+            p.clear();
+            dp.observe(unit, p);
+            predicted = p;
+            unit = static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(unit) + pattern[i % 4]);
+        }
+        return correct;
+    };
+    std::uint64_t small = run(32);
+    std::uint64_t big = run(1024);
+    EXPECT_GT(small, 3900u);
+    // Within 1% of the big table: r-insensitivity.
+    EXPECT_NEAR(static_cast<double>(small), static_cast<double>(big),
+                40.0);
+}
+
+TEST(DistancePredictor, RejectsBadSlotCount)
+{
+    EXPECT_DEATH(DistancePredictor dp(config(256, 0)), "slots");
+    EXPECT_DEATH(DistancePredictor dp(config(256, 9)), "slots");
+}
+
+} // namespace
+} // namespace tlbpf

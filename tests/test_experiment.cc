@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the experiment drivers: the canned figure/table
+ * configuration lists, the sweep helpers, and end-to-end behaviour of
+ * the prefetcher variants (adaptive SP, wide-reach RP) inside the
+ * full simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "trace/ref_stream.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+TEST(Figure7Specs, MatchesPaperLegend)
+{
+    auto specs = figure7Specs();
+    // RP + 8 MP configs + 6 DP + 6 ASP = 21 bars per application.
+    ASSERT_EQ(specs.size(), 21u);
+    EXPECT_EQ(specs[0].label(), "RP");
+    EXPECT_EQ(specs[1].label(), "MP,1024,D");
+    EXPECT_EQ(specs[8].label(), "MP,256,F");
+    EXPECT_EQ(specs[9].label(), "DP,1024,D");
+    EXPECT_EQ(specs[14].label(), "DP,32,D");
+    EXPECT_EQ(specs[15].label(), "ASP,1024,D");
+    EXPECT_EQ(specs[20].label(), "ASP,32,D");
+    for (const PrefetcherSpec &spec : specs)
+        EXPECT_EQ(spec.slots, 2u) << spec.label();
+}
+
+TEST(Table2Specs, FourSchemesAt256)
+{
+    auto specs = table2Specs();
+    ASSERT_EQ(specs.size(), 4u);
+    EXPECT_EQ(specs[0].scheme, Scheme::DP);
+    EXPECT_EQ(specs[1].scheme, Scheme::RP);
+    EXPECT_EQ(specs[2].scheme, Scheme::ASP);
+    EXPECT_EQ(specs[3].scheme, Scheme::MP);
+    for (const PrefetcherSpec &spec : specs)
+        EXPECT_EQ(spec.table.rows, 256u);
+}
+
+TEST(AccuracySweep, CellsMatchIndividualRuns)
+{
+    std::vector<PrefetcherSpec> specs = table2Specs();
+    auto cells = accuracySweep("galgel", specs, 100000);
+    ASSERT_EQ(cells.size(), 4u);
+    SimResult direct = runFunctional("galgel", specs[0], 100000);
+    EXPECT_DOUBLE_EQ(cells[0].accuracy, direct.accuracy());
+    EXPECT_DOUBLE_EQ(cells[0].missRate, direct.missRate());
+    EXPECT_EQ(cells[0].label, "DP,256,D");
+}
+
+TEST(RunTimed, NormalisesSanely)
+{
+    PrefetcherSpec none;
+    none.scheme = Scheme::None;
+    TimingResult r = runTimed("eon", none, 50000);
+    // eon barely misses: cycles ~ compute cycles.
+    EXPECT_LT(r.stallCycles, r.computeCycles / 10);
+    EXPECT_EQ(r.cycles, r.computeCycles + r.stallCycles);
+}
+
+TEST(Variants, AdaptiveSpBeatsFixedDegreeOneOnSequentialBursts)
+{
+    // On a pure sequential stream both saturate; on a faster page
+    // walk the adaptive version's higher degree covers more lookahead
+    // within the buffer.
+    std::vector<MemRef> refs;
+    for (Vpn p = 0; p < 30000; ++p)
+        refs.push_back(MemRef{p * kDefaultPageBytes, 0x4000, false, p});
+
+    PrefetcherSpec fixed;
+    fixed.scheme = Scheme::SP;
+    fixed.degree = 1;
+    PrefetcherSpec adaptive;
+    adaptive.scheme = Scheme::SP;
+    adaptive.adaptive = true;
+
+    VectorStream s1(refs);
+    VectorStream s2(refs);
+    SimResult f = simulate(SimConfig{}, fixed, s1);
+    SimResult a = simulate(SimConfig{}, adaptive, s2);
+    EXPECT_GT(f.accuracy(), 0.99); // both easily cover stride-1
+    EXPECT_GT(a.accuracy(), 0.99);
+    // The adaptive controller issued more prefetches (degree > 1).
+    EXPECT_GT(a.prefetchesIssued + a.prefetchesSuppressed,
+              f.prefetchesIssued + f.prefetchesSuppressed);
+}
+
+TEST(Variants, WideReachRpLiftsAccuracyOnHistoryApp)
+{
+    // The 3-entry-style RP variant prefetches deeper into the stack
+    // neighbourhood; on a history app it should not do worse, and it
+    // issues more prefetch traffic.
+    PrefetcherSpec rp2;
+    rp2.scheme = Scheme::RP;
+    rp2.rpReach = 1;
+    PrefetcherSpec rp4;
+    rp4.scheme = Scheme::RP;
+    rp4.rpReach = 2;
+    SimResult narrow = runFunctional("gcc", rp2, 300000);
+    SimResult wide = runFunctional("gcc", rp4, 300000);
+    EXPECT_GE(wide.accuracy(), narrow.accuracy() - 0.02);
+    EXPECT_GT(wide.prefetchesIssued, narrow.prefetchesIssued);
+}
+
+TEST(Variants, FactoryLabelsForVariants)
+{
+    PrefetcherSpec spec;
+    spec.scheme = Scheme::SP;
+    spec.adaptive = true;
+    EXPECT_EQ(spec.label(), "ASQ");
+    PageTable pt;
+    auto pf = makePrefetcher(spec, pt);
+    EXPECT_EQ(pf->name(), "ASQ");
+
+    spec = PrefetcherSpec{};
+    spec.scheme = Scheme::RP;
+    spec.rpReach = 2;
+    EXPECT_EQ(spec.label(), "RP,4");
+    auto rp = makePrefetcher(spec, pt);
+    EXPECT_EQ(rp->label(), "RP,4");
+}
+
+TEST(DefaultBenchRefs, IsAMillion)
+{
+    EXPECT_EQ(kDefaultBenchRefs, 1000000u);
+}
+
+} // namespace
+} // namespace tlbpf

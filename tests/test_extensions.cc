@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the extension features: adaptive sequential prefetching,
+ * the wider-reach RP variant, single-entry TLB invalidation and the
+ * inclusive two-level TLB hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/recency.hh"
+#include "prefetch/sequential.hh"
+#include "tlb/two_level.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+PrefetchDecision
+miss(Prefetcher &pf, Vpn vpn, Vpn evicted = kNoPage,
+     bool pb_hit = false)
+{
+    PrefetchDecision decision;
+    pf.onMiss(TlbMiss{vpn, 0x4000, pb_hit, evicted}, decision);
+    return decision;
+}
+
+// ------------------------------------------------- adaptive SP
+
+TEST(AdaptiveSp, StartsAtDegreeOne)
+{
+    AdaptiveSequentialPrefetcher sp(8, 4);
+    auto d = miss(sp, 100);
+    EXPECT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(sp.degree(), 1u);
+}
+
+TEST(AdaptiveSp, RampsUpUnderSuccess)
+{
+    AdaptiveSequentialPrefetcher sp(8, 4);
+    // Every miss reports a buffer hit: the controller should ramp the
+    // degree to its maximum across epochs.
+    for (int i = 0; i < 8 * 8; ++i)
+        miss(sp, 100 + i, kNoPage, true);
+    EXPECT_EQ(sp.degree(), 4u);
+    auto d = miss(sp, 999, kNoPage, true);
+    EXPECT_EQ(d.targets.size(), 4u);
+    EXPECT_EQ(d.targets[3], 1003u);
+}
+
+TEST(AdaptiveSp, RampsDownUnderFailure)
+{
+    AdaptiveSequentialPrefetcher sp(8, 4);
+    for (int i = 0; i < 8 * 8; ++i)
+        miss(sp, 100 + i, kNoPage, true); // degree -> 4
+    for (int i = 0; i < 8 * 8; ++i)
+        miss(sp, 5000 + 97 * i, kNoPage, false); // all failures
+    EXPECT_EQ(sp.degree(), 1u);
+}
+
+TEST(AdaptiveSp, ResetRestoresInitialDegree)
+{
+    AdaptiveSequentialPrefetcher sp(8, 4);
+    for (int i = 0; i < 8 * 4; ++i)
+        miss(sp, 100 + i, kNoPage, true);
+    EXPECT_GT(sp.degree(), 1u);
+    sp.reset();
+    EXPECT_EQ(sp.degree(), 1u);
+}
+
+// ------------------------------------------------- RP reach
+
+TEST(RecencyReach, WiderReachPrefetchesFourNeighbours)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt, 2);
+    // Eviction order 1,2,3,4,5: stack top-to-bottom is 5,4,3,2,1.
+    for (Vpn v = 1; v <= 5; ++v)
+        miss(rp, 100 + v, v);
+    // Miss on 3: immediate neighbours 4 (prev) and 2 (next), wider
+    // neighbours 5 and 1.
+    auto d = miss(rp, 3, kNoPage);
+    ASSERT_EQ(d.targets.size(), 4u);
+    EXPECT_EQ(d.targets[0], 4u);
+    EXPECT_EQ(d.targets[1], 2u);
+    EXPECT_EQ(d.targets[2], 5u);
+    EXPECT_EQ(d.targets[3], 1u);
+    EXPECT_EQ(rp.label(), "RP,4");
+}
+
+TEST(RecencyReach, ReachAtStackEdgeTruncates)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt, 2);
+    miss(rp, 100, 1);
+    miss(rp, 101, 2); // stack: 2, 1
+    auto d = miss(rp, 2, kNoPage); // head: only next-side exists
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 1u);
+}
+
+TEST(RecencyReach, DefaultReachUnchanged)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    for (Vpn v = 1; v <= 4; ++v)
+        miss(rp, 100 + v, v);
+    auto d = miss(rp, 2, kNoPage);
+    EXPECT_EQ(d.targets.size(), 2u);
+    EXPECT_EQ(rp.label(), "RP");
+}
+
+// ------------------------------------------------- Tlb::invalidate
+
+TEST(TlbInvalidate, RemovesEntry)
+{
+    Tlb tlb({4, 0});
+    tlb.insert(7);
+    EXPECT_TRUE(tlb.invalidate(7));
+    EXPECT_FALSE(tlb.contains(7));
+    EXPECT_EQ(tlb.residentCount(), 0u);
+    EXPECT_FALSE(tlb.invalidate(7)); // already gone
+    // Slot is reusable.
+    EXPECT_EQ(tlb.insert(7), std::nullopt);
+}
+
+// ------------------------------------------------- two-level TLB
+
+TEST(TwoLevelTlb, MissFillsBothLevels)
+{
+    TwoLevelTlb tlb({2, 0}, {8, 0});
+    EXPECT_EQ(tlb.access(1), TlbLevelHit::Miss);
+    tlb.insert(1);
+    EXPECT_EQ(tlb.access(1), TlbLevelHit::L1);
+    EXPECT_TRUE(tlb.l2().contains(1));
+}
+
+TEST(TwoLevelTlb, L1VictimHitsInL2)
+{
+    TwoLevelTlb tlb({2, 0}, {8, 0});
+    tlb.insert(1);
+    tlb.insert(2);
+    tlb.insert(3); // 1 falls out of the L1, stays in L2
+    EXPECT_FALSE(tlb.l1().contains(1));
+    EXPECT_EQ(tlb.access(1), TlbLevelHit::L2);
+    // ...and the L2 hit promoted it back into the L1.
+    EXPECT_TRUE(tlb.l1().contains(1));
+}
+
+TEST(TwoLevelTlb, InclusionMaintainedOnL2Eviction)
+{
+    TwoLevelTlb tlb({2, 0}, {4, 0});
+    for (Vpn v = 1; v <= 4; ++v)
+        tlb.insert(v);
+    // L1 holds {3,4}; inserting 5 evicts the L2's LRU.
+    auto victim = tlb.insert(5);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_FALSE(tlb.l1().contains(*victim));
+    EXPECT_FALSE(tlb.l2().contains(*victim));
+    EXPECT_FALSE(tlb.contains(*victim));
+}
+
+TEST(TwoLevelTlb, MissCountersTrackLevels)
+{
+    TwoLevelTlb tlb({2, 0}, {8, 0});
+    tlb.access(1); // miss both
+    tlb.insert(1);
+    tlb.access(1); // L1 hit
+    tlb.insert(2);
+    tlb.insert(3);
+    tlb.access(1); // L1 miss (evicted by 2,3), L2 hit
+    EXPECT_EQ(tlb.accesses(), 3u);
+    EXPECT_EQ(tlb.l1Misses(), 2u);
+    EXPECT_EQ(tlb.l2Misses(), 1u);
+}
+
+TEST(TwoLevelTlb, FlushEmptiesBoth)
+{
+    TwoLevelTlb tlb({2, 0}, {8, 0});
+    tlb.insert(1);
+    tlb.flush();
+    EXPECT_FALSE(tlb.contains(1));
+    EXPECT_EQ(tlb.access(1), TlbLevelHit::Miss);
+}
+
+TEST(TwoLevelTlb, RejectsL1LargerThanL2)
+{
+    EXPECT_DEATH(TwoLevelTlb({16, 0}, {8, 0}), "at least as large");
+}
+
+} // namespace
+} // namespace tlbpf

@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Unit tests for the synthetic workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/ref_stream.hh"
+#include "workload/generators.hh"
+#include "workload/phase_mix.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+std::vector<MemRef>
+drain(RefStream &s, std::size_t cap = 1u << 22)
+{
+    return collect(s, cap);
+}
+
+TEST(StridedScan, AddressesFollowStride)
+{
+    StridedScan::Config config;
+    config.base = 1000;
+    config.strideBytes = 64;
+    config.count = 4;
+    config.passes = 2;
+    StridedScan scan(config);
+    auto v = drain(scan);
+    ASSERT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[0].vaddr, 1000u);
+    EXPECT_EQ(v[1].vaddr, 1064u);
+    EXPECT_EQ(v[3].vaddr, 1192u);
+    EXPECT_EQ(v[4].vaddr, 1000u); // second pass restarts
+    EXPECT_EQ(v[0].pc, config.pc);
+}
+
+TEST(StridedScan, NegativeStrideWalksDown)
+{
+    StridedScan::Config config;
+    config.base = 10000;
+    config.strideBytes = -16;
+    config.count = 3;
+    StridedScan scan(config);
+    auto v = drain(scan);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2].vaddr, 10000u - 32u);
+}
+
+TEST(StridedScan, ResetReplaysIdentically)
+{
+    StridedScan::Config config;
+    config.count = 100;
+    config.passes = 2;
+    StridedScan scan(config);
+    auto a = drain(scan);
+    scan.reset();
+    auto b = drain(scan);
+    EXPECT_EQ(a, b);
+}
+
+TEST(StridedScan, BlockShufflePermutesPagesStably)
+{
+    StridedScan::Config config;
+    config.base = 1ull << 30;
+    config.strideBytes = 4096;
+    config.count = 64;
+    config.passes = 2;
+    config.shuffleBlockPages = 4;
+    config.seed = 42;
+    StridedScan scan(config);
+    auto v = drain(scan);
+    ASSERT_EQ(v.size(), 128u);
+    // Pass 1 and pass 2 visit identical page sequences.
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(v[i].vaddr, v[64 + i].vaddr);
+    // All 64 pages are still visited exactly once per pass.
+    std::set<Vpn> pages;
+    for (int i = 0; i < 64; ++i)
+        pages.insert(v[i].vpn());
+    EXPECT_EQ(pages.size(), 64u);
+    // And the order is not plain sequential.
+    bool sequential = true;
+    for (int i = 1; i < 64; ++i)
+        sequential = sequential && v[i].vpn() == v[i - 1].vpn() + 1;
+    EXPECT_FALSE(sequential);
+}
+
+TEST(ChangingStrideScan, PhasesChangeStride)
+{
+    ChangingStrideScan::Config config;
+    config.base = 0x1000;
+    config.phases = {{16, 3}, {256, 2}};
+    config.passes = 1;
+    ChangingStrideScan scan(config);
+    auto v = drain(scan);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_EQ(v[1].vaddr - v[0].vaddr, 16u);
+    EXPECT_EQ(v[4].vaddr - v[3].vaddr, 256u);
+}
+
+TEST(ChangingStrideScan, PassesRestartFromBase)
+{
+    ChangingStrideScan::Config config;
+    config.base = 0x1000;
+    config.phases = {{8, 2}};
+    config.passes = 2;
+    ChangingStrideScan scan(config);
+    auto v = drain(scan);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[2].vaddr, 0x1000u);
+}
+
+TEST(DistancePatternWalk, FollowsPatternWithoutNoise)
+{
+    DistancePatternWalk::Config config;
+    config.basePage = 1000;
+    config.regionPages = 1 << 20;
+    config.pattern = {1, 5, -2};
+    config.steps = 9;
+    config.refsPerStep = 1;
+    config.passes = 1;
+    config.noise = 0.0;
+    DistancePatternWalk walk(config);
+    auto v = drain(walk);
+    ASSERT_EQ(v.size(), 9u);
+    EXPECT_EQ(v[0].vpn(), 1000u);
+    EXPECT_EQ(v[1].vpn(), 1001u);
+    EXPECT_EQ(v[2].vpn(), 1006u);
+    EXPECT_EQ(v[3].vpn(), 1004u);
+    EXPECT_EQ(v[4].vpn(), 1005u);
+}
+
+TEST(DistancePatternWalk, DwellStaysOnPage)
+{
+    DistancePatternWalk::Config config;
+    config.basePage = 1000;
+    config.pattern = {3};
+    config.steps = 2;
+    config.refsPerStep = 4;
+    DistancePatternWalk walk(config);
+    auto v = drain(walk);
+    ASSERT_EQ(v.size(), 8u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(v[i].vpn(), 1000u);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_EQ(v[i].vpn(), 1003u);
+}
+
+TEST(DistancePatternWalk, ResetIsDeterministicEvenWithNoise)
+{
+    DistancePatternWalk::Config config;
+    config.pattern = {1, 7, -3};
+    config.steps = 500;
+    config.refsPerStep = 2;
+    config.noise = 0.3;
+    config.seed = 99;
+    DistancePatternWalk walk(config);
+    auto a = drain(walk);
+    walk.reset();
+    auto b = drain(walk);
+    EXPECT_EQ(a, b);
+}
+
+TEST(DistancePatternWalk, WrapsInsideRegion)
+{
+    DistancePatternWalk::Config config;
+    config.basePage = 100;
+    config.regionPages = 10;
+    config.pattern = {7};
+    config.steps = 50;
+    config.refsPerStep = 1;
+    DistancePatternWalk walk(config);
+    MemRef r;
+    while (walk.next(r)) {
+        EXPECT_GE(r.vpn(), 100u);
+        EXPECT_LT(r.vpn(), 110u);
+    }
+}
+
+TEST(HistoryLoop, SequenceLengthMatchesConfig)
+{
+    HistoryLoop::Config config;
+    config.footprintPages = 64;
+    config.seqLen = 64;
+    config.alphabetSize = 6;
+    config.refsPerStep = 2;
+    config.passes = 1;
+    HistoryLoop loop(config);
+    EXPECT_EQ(loop.sequence().size(), 64u);
+    EXPECT_EQ(drain(loop).size(), 64u * 2u);
+}
+
+TEST(HistoryLoop, NearPermutationVisitsEachPageOnce)
+{
+    // With seqLen == footprint, every page is visited exactly once
+    // per pass — the property that makes RP/MP history stable.
+    HistoryLoop::Config config;
+    config.footprintPages = 200;
+    config.seqLen = 200;
+    config.alphabetSize = 8;
+    config.seed = 5;
+    HistoryLoop loop(config);
+    std::set<Vpn> pages(loop.sequence().begin(), loop.sequence().end());
+    EXPECT_EQ(pages.size(), 200u);
+}
+
+TEST(HistoryLoop, PagesStayInFootprint)
+{
+    HistoryLoop::Config config;
+    config.basePage = 5000;
+    config.footprintPages = 100;
+    config.seqLen = 100;
+    HistoryLoop loop(config);
+    for (Vpn vpn : loop.sequence()) {
+        EXPECT_GE(vpn, 5000u);
+        EXPECT_LT(vpn, 5100u);
+    }
+}
+
+TEST(HistoryLoop, PassesReplayTheSameSequence)
+{
+    HistoryLoop::Config config;
+    config.footprintPages = 50;
+    config.seqLen = 50;
+    config.refsPerStep = 1;
+    config.passes = 2;
+    HistoryLoop loop(config);
+    auto v = drain(loop);
+    ASSERT_EQ(v.size(), 100u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(v[i].vpn(), v[50 + i].vpn());
+}
+
+TEST(HistoryLoop, BurstinessPreservesMeanDwell)
+{
+    HistoryLoop::Config config;
+    config.footprintPages = 500;
+    config.seqLen = 500;
+    config.refsPerStep = 40;
+    config.passes = 4;
+    config.burstiness = 0.4;
+    config.seed = 77;
+    HistoryLoop loop(config);
+    auto v = drain(loop);
+    double refs_per_step = static_cast<double>(v.size()) / (500.0 * 4);
+    EXPECT_NEAR(refs_per_step, 40.0, 6.0);
+}
+
+TEST(HistoryLoop, ResetDeterministicWithBurstiness)
+{
+    HistoryLoop::Config config;
+    config.footprintPages = 64;
+    config.seqLen = 64;
+    config.refsPerStep = 10;
+    config.burstiness = 0.5;
+    config.passes = 2;
+    HistoryLoop loop(config);
+    auto a = drain(loop);
+    loop.reset();
+    auto b = drain(loop);
+    EXPECT_EQ(a, b);
+}
+
+TEST(AlternatingPermutations, RoundsAlternateBetweenTwoOrders)
+{
+    AlternatingPermutations::Config config;
+    config.basePage = 100;
+    config.numPages = 16;
+    config.rounds = 4;
+    config.refsPerStep = 1;
+    AlternatingPermutations alt(config);
+    auto v = drain(alt);
+    ASSERT_EQ(v.size(), 64u);
+    // Rounds 0 and 2 identical, 1 and 3 identical, 0 and 1 different.
+    bool differ = false;
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(v[i].vpn(), v[32 + i].vpn());
+        EXPECT_EQ(v[16 + i].vpn(), v[48 + i].vpn());
+        differ = differ || v[i].vpn() != v[16 + i].vpn();
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(AlternatingPermutations, EachRoundIsAPermutation)
+{
+    AlternatingPermutations::Config config;
+    config.basePage = 100;
+    config.numPages = 32;
+    config.rounds = 2;
+    config.refsPerStep = 1;
+    AlternatingPermutations alt(config);
+    auto v = drain(alt);
+    for (int round = 0; round < 2; ++round) {
+        std::set<Vpn> pages;
+        for (int i = 0; i < 32; ++i)
+            pages.insert(v[round * 32 + i].vpn());
+        EXPECT_EQ(pages.size(), 32u);
+        EXPECT_EQ(*pages.begin(), 100u);
+        EXPECT_EQ(*pages.rbegin(), 131u);
+    }
+}
+
+TEST(ZipfMix, StaysInRangeAndIsDeterministic)
+{
+    ZipfMix::Config config;
+    config.basePage = 700;
+    config.numPages = 64;
+    config.steps = 300;
+    config.refsPerStep = 2;
+    config.seed = 3;
+    ZipfMix mix(config);
+    auto a = drain(mix);
+    EXPECT_EQ(a.size(), 600u);
+    for (const MemRef &r : a) {
+        EXPECT_GE(r.vpn(), 700u);
+        EXPECT_LT(r.vpn(), 764u);
+    }
+    mix.reset();
+    EXPECT_EQ(drain(mix), a);
+}
+
+TEST(ZipfMix, PopularPagesDominante)
+{
+    ZipfMix::Config config;
+    config.numPages = 1000;
+    config.zipfSkew = 1.2;
+    config.steps = 5000;
+    config.refsPerStep = 1;
+    ZipfMix mix(config);
+    std::unordered_map<Vpn, int> counts;
+    MemRef r;
+    while (mix.next(r))
+        ++counts[r.vpn()];
+    int max_count = 0;
+    for (const auto &[vpn, c] : counts)
+        max_count = std::max(max_count, c);
+    EXPECT_GT(max_count, 100); // top page ≫ uniform share of 5
+}
+
+TEST(PaceStream, AssignsMonotonicInstructionCounts)
+{
+    StridedScan::Config scan;
+    scan.count = 10;
+    PaceStream paced(std::make_unique<StridedScan>(scan), 3.0);
+    auto v = drain(paced);
+    ASSERT_EQ(v.size(), 10u);
+    EXPECT_EQ(v[0].icount, 0u);
+    EXPECT_EQ(v[1].icount, 3u);
+    EXPECT_EQ(v[9].icount, 27u);
+}
+
+TEST(PaceStream, ResetRestartsPacing)
+{
+    StridedScan::Config scan;
+    scan.count = 5;
+    PaceStream paced(std::make_unique<StridedScan>(scan), 2.0);
+    drain(paced);
+    paced.reset();
+    auto v = drain(paced);
+    EXPECT_EQ(v[0].icount, 0u);
+}
+
+TEST(PhaseMix, LoopedScanHitsRefBudget)
+{
+    auto s = makeLoopedScan(1000, 256, 10, 5000, 0x400000);
+    auto v = drain(*s);
+    EXPECT_GE(v.size(), 5000u);
+    // footprint 10 pages at stride 256 = 160 refs/pass
+    EXPECT_LT(v.size(), 5000u + 160u);
+}
+
+TEST(PhaseMix, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(ceilDiv(1, 100), 1u);
+}
+
+TEST(MultiStreamScan, InterleavesDistinctPcs)
+{
+    std::vector<StridedScan::Config> streams(2);
+    streams[0].base = 0x10000;
+    streams[0].pc = 0x4000;
+    streams[0].count = 4;
+    streams[1].base = 0x90000;
+    streams[1].pc = 0x5000;
+    streams[1].count = 4;
+    auto s = makeMultiStreamScan(std::move(streams), 1);
+    auto v = drain(*s);
+    ASSERT_EQ(v.size(), 8u);
+    EXPECT_EQ(v[0].pc, 0x4000u);
+    EXPECT_EQ(v[1].pc, 0x5000u);
+    EXPECT_EQ(v[2].pc, 0x4000u);
+}
+
+} // namespace
+} // namespace tlbpf

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and parameterised tests for the generic prediction table and
+ * the per-row SlotLru payload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/prediction_table.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+struct Payload
+{
+    int value = 0;
+};
+
+TEST(PredictionTable, MissThenHit)
+{
+    PredictionTable<Payload> table({8, TableAssoc::Direct});
+    EXPECT_EQ(table.find(5), nullptr);
+    table.findOrInsert(5).value = 7;
+    Payload *p = table.find(5);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->value, 7);
+    EXPECT_EQ(table.hits(), 1u);
+    EXPECT_EQ(table.misses(), 1u);
+}
+
+TEST(PredictionTable, DirectMappedConflictEvicts)
+{
+    PredictionTable<Payload> table({4, TableAssoc::Direct});
+    table.findOrInsert(1).value = 10;
+    table.findOrInsert(5).value = 50; // 5 % 4 == 1: same row
+    EXPECT_EQ(table.find(1), nullptr);
+    ASSERT_NE(table.find(5), nullptr);
+    EXPECT_EQ(table.find(5)->value, 50);
+    EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(PredictionTable, TwoWayHoldsConflictingPair)
+{
+    PredictionTable<Payload> table({4, TableAssoc::TwoWay}); // 2 sets
+    table.findOrInsert(0).value = 1;
+    table.findOrInsert(2).value = 2; // 2 % 2 == 0: same set, way 2
+    EXPECT_NE(table.find(0), nullptr);
+    EXPECT_NE(table.find(2), nullptr);
+    table.findOrInsert(4).value = 3; // evicts LRU of set 0
+    EXPECT_EQ(table.occupancy(), 2u);
+}
+
+TEST(PredictionTable, SetLruRespectsAccessOrder)
+{
+    PredictionTable<Payload> table({4, TableAssoc::TwoWay});
+    table.findOrInsert(0);
+    table.findOrInsert(2);
+    table.find(0);           // 2 becomes LRU in set 0
+    table.findOrInsert(4);   // evicts 2
+    EXPECT_NE(table.find(0), nullptr);
+    EXPECT_EQ(table.find(2), nullptr);
+    EXPECT_NE(table.find(4), nullptr);
+}
+
+TEST(PredictionTable, FullyAssociativeUsesAllRows)
+{
+    PredictionTable<Payload> table({4, TableAssoc::Full});
+    for (std::uint64_t k = 0; k < 4; ++k)
+        table.findOrInsert(k * 4); // all alias to set 0 in D mapping
+    EXPECT_EQ(table.occupancy(), 4u);
+    EXPECT_EQ(table.evictions(), 0u);
+    table.findOrInsert(100);
+    EXPECT_EQ(table.evictions(), 1u);
+}
+
+TEST(PredictionTable, PeekDoesNotDisturbState)
+{
+    PredictionTable<Payload> table({4, TableAssoc::Direct});
+    table.findOrInsert(1);
+    std::uint64_t hits = table.hits();
+    EXPECT_NE(table.peek(1), nullptr);
+    EXPECT_EQ(table.peek(3), nullptr);
+    EXPECT_EQ(table.hits(), hits);
+}
+
+TEST(PredictionTable, ResetClearsRowsAndCounters)
+{
+    PredictionTable<Payload> table({4, TableAssoc::Direct});
+    table.findOrInsert(1);
+    table.reset();
+    EXPECT_EQ(table.occupancy(), 0u);
+    EXPECT_EQ(table.find(1), nullptr);
+    EXPECT_EQ(table.hits(), 0u);
+    EXPECT_EQ(table.misses(), 0u); // plain find() never counts misses
+}
+
+TEST(PredictionTable, ReinsertAfterEvictionGetsFreshPayload)
+{
+    PredictionTable<Payload> table({2, TableAssoc::Direct});
+    table.findOrInsert(0).value = 99;
+    table.findOrInsert(2); // evicts key 0
+    EXPECT_EQ(table.findOrInsert(0).value, 0);
+}
+
+/** Geometry sweep: the invariants must hold for every paper config. */
+class TableGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 TableAssoc>>
+{
+};
+
+TEST_P(TableGeometry, OccupancyBoundedAndKeysFindable)
+{
+    auto [rows, assoc] = GetParam();
+    PredictionTable<Payload> table({rows, assoc});
+    // Insert 4x the capacity with scattered keys.
+    for (std::uint64_t k = 0; k < rows * 4ull; ++k) {
+        table.findOrInsert(k * 7 + 1).value = static_cast<int>(k);
+        EXPECT_LE(table.occupancy(), rows);
+    }
+    // A freshly inserted key is immediately findable.
+    table.findOrInsert(999999).value = -1;
+    ASSERT_NE(table.find(999999), nullptr);
+    EXPECT_EQ(table.find(999999)->value, -1);
+}
+
+TEST_P(TableGeometry, WaysMatchAssoc)
+{
+    auto [rows, assoc] = GetParam();
+    TableConfig config{rows, assoc};
+    if (assoc == TableAssoc::Full) {
+        EXPECT_EQ(config.ways(), rows);
+        EXPECT_EQ(config.numSets(), 1u);
+    } else {
+        EXPECT_EQ(config.ways(), static_cast<std::uint32_t>(assoc));
+        EXPECT_EQ(config.numSets() * config.ways(), rows);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, TableGeometry,
+    ::testing::Combine(::testing::Values(32u, 64u, 128u, 256u, 512u,
+                                         1024u),
+                       ::testing::Values(TableAssoc::Direct,
+                                         TableAssoc::TwoWay,
+                                         TableAssoc::FourWay,
+                                         TableAssoc::Full)));
+
+TEST(AssocLabel, RoundTrips)
+{
+    for (TableAssoc assoc : {TableAssoc::Direct, TableAssoc::TwoWay,
+                             TableAssoc::FourWay, TableAssoc::Full})
+        EXPECT_EQ(parseAssoc(assocLabel(assoc)), assoc);
+    EXPECT_EXIT(parseAssoc("8"), ::testing::ExitedWithCode(1),
+                "bad table associativity");
+}
+
+TEST(SlotLru, InsertsAtFront)
+{
+    SlotLru<int> slots(3);
+    slots.addOrPromote(1);
+    slots.addOrPromote(2);
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0], 2);
+    EXPECT_EQ(slots[1], 1);
+}
+
+TEST(SlotLru, PromoteMovesToFrontWithoutGrowth)
+{
+    SlotLru<int> slots(3);
+    slots.addOrPromote(1);
+    slots.addOrPromote(2);
+    slots.addOrPromote(3);
+    slots.addOrPromote(1);
+    ASSERT_EQ(slots.size(), 3u);
+    EXPECT_EQ(slots[0], 1);
+    EXPECT_EQ(slots[1], 3);
+    EXPECT_EQ(slots[2], 2);
+}
+
+TEST(SlotLru, EvictsLruWhenFull)
+{
+    SlotLru<int> slots(2);
+    slots.addOrPromote(1);
+    slots.addOrPromote(2);
+    slots.addOrPromote(3); // evicts 1
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0], 3);
+    EXPECT_EQ(slots[1], 2);
+}
+
+TEST(SlotLru, SetCapacityShrinksFromLruEnd)
+{
+    SlotLru<int> slots(4);
+    slots.addOrPromote(1);
+    slots.addOrPromote(2);
+    slots.addOrPromote(3);
+    slots.setCapacity(2);
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0], 3);
+    EXPECT_EQ(slots[1], 2);
+}
+
+TEST(SlotLru, ClearEmpties)
+{
+    SlotLru<int> slots(2);
+    slots.addOrPromote(1);
+    slots.clear();
+    EXPECT_EQ(slots.size(), 0u);
+}
+
+} // namespace
+} // namespace tlbpf

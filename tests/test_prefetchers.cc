@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Unit tests for the five prefetching mechanisms and the factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/asp.hh"
+#include "prefetch/distance.hh"
+#include "prefetch/factory.hh"
+#include "prefetch/markov.hh"
+#include "prefetch/recency.hh"
+#include "prefetch/sequential.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+PrefetchDecision
+miss(Prefetcher &pf, Vpn vpn, Addr pc = 0x4000,
+     Vpn evicted = kNoPage, bool pb_hit = false)
+{
+    PrefetchDecision decision;
+    pf.onMiss(TlbMiss{vpn, pc, pb_hit, evicted}, decision);
+    return decision;
+}
+
+// ---------------------------------------------------------------- SP
+
+TEST(Sequential, PrefetchesNextPage)
+{
+    SequentialPrefetcher sp;
+    auto d = miss(sp, 100);
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 101u);
+    EXPECT_EQ(d.stateOps, 0u);
+}
+
+TEST(Sequential, DegreeControlsCount)
+{
+    SequentialPrefetcher sp(3);
+    auto d = miss(sp, 10);
+    ASSERT_EQ(d.targets.size(), 3u);
+    EXPECT_EQ(d.targets[2], 13u);
+    EXPECT_EQ(sp.label(), "SP,3");
+}
+
+// --------------------------------------------------------------- ASP
+
+TEST(Asp, NoPrefetchUntilSteady)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    // Same PC, stride 2 in pages.
+    EXPECT_TRUE(miss(asp, 10).targets.empty());  // allocate
+    EXPECT_TRUE(miss(asp, 12).targets.empty());  // initial->transient
+    auto d = miss(asp, 14); // stride confirmed: transient->steady
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 16u);
+}
+
+TEST(Asp, InitialWithZeroStrideGoesSteadyButSuppressessZeroStride)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    miss(asp, 10);
+    auto d = miss(asp, 10); // stride 0 matches initial stride 0
+    EXPECT_TRUE(d.targets.empty()); // zero stride never prefetches
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::Steady);
+}
+
+TEST(Asp, StrideChangeLeavesSteady)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    miss(asp, 10);
+    miss(asp, 12);
+    miss(asp, 14); // steady
+    auto d = miss(asp, 20); // stride broke: steady->initial, no pf
+    EXPECT_TRUE(d.targets.empty());
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::Initial);
+    // Stride is kept through steady->initial (Chen-Baer), so one
+    // matching observation returns to steady and prefetching resumes.
+    auto d2 = miss(asp, 22);
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::Steady);
+    ASSERT_EQ(d2.targets.size(), 1u);
+    EXPECT_EQ(d2.targets[0], 24u);
+}
+
+TEST(Asp, ChaoticStrideReachesNoPred)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    miss(asp, 10);
+    miss(asp, 13);  // initial -> transient (stride 3)
+    miss(asp, 14);  // wrong (1 != 3): transient -> nopred
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::NoPred);
+    miss(asp, 20);  // still chaotic: stays nopred
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::NoPred);
+    EXPECT_TRUE(miss(asp, 100).targets.empty());
+}
+
+TEST(Asp, NoPredRecoversViaTransient)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    miss(asp, 10);
+    miss(asp, 13);
+    miss(asp, 14); // nopred, stride 1
+    miss(asp, 15); // correct: nopred -> transient
+    EXPECT_EQ(asp.inspect(0x4000).state, RptState::Transient);
+    auto d = miss(asp, 16); // transient -> steady
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 17u);
+}
+
+TEST(Asp, DistinctPcsTrackIndependentStreams)
+{
+    AspPrefetcher asp({256, TableAssoc::Direct});
+    // Stream A at PC 0x4000 (stride 1), stream B at 0x4004 (stride 4):
+    // adjacent instructions, distinct RPT rows.
+    for (int i = 0; i < 3; ++i) {
+        miss(asp, 100 + i, 0x4000);
+        miss(asp, 1000 + 4 * i, 0x4004);
+    }
+    auto a = miss(asp, 103, 0x4000);
+    auto b = miss(asp, 1012, 0x4004);
+    ASSERT_EQ(a.targets.size(), 1u);
+    EXPECT_EQ(a.targets[0], 104u);
+    ASSERT_EQ(b.targets.size(), 1u);
+    EXPECT_EQ(b.targets[0], 1016u);
+}
+
+TEST(Asp, LabelAndProfile)
+{
+    AspPrefetcher asp({512, TableAssoc::Direct});
+    EXPECT_EQ(asp.label(), "ASP,512,D");
+    EXPECT_EQ(asp.hardwareProfile().indexedBy, "PC");
+    EXPECT_EQ(asp.hardwareProfile().memOpsPerMiss, 0u);
+    EXPECT_FALSE(asp.dropPrefetchesWhenBusy());
+}
+
+// ---------------------------------------------------------------- MP
+
+TEST(Markov, LearnsSuccessorAfterOneTransition)
+{
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    miss(mp, 10);
+    miss(mp, 20); // row[10] learns 20
+    auto d = miss(mp, 10);
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 20u);
+}
+
+TEST(Markov, KeepsTwoSuccessorsInLruOrder)
+{
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    miss(mp, 10);
+    miss(mp, 20);
+    miss(mp, 10);
+    miss(mp, 30);
+    miss(mp, 10);
+    miss(mp, 20); // successors of 10: {20 (MRU), 30}
+    auto succ = mp.successorsOf(10);
+    ASSERT_EQ(succ.size(), 2u);
+    EXPECT_EQ(succ[0], 20u);
+    EXPECT_EQ(succ[1], 30u);
+}
+
+TEST(Markov, ThirdSuccessorEvictsLru)
+{
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    for (Vpn next : {20u, 30u, 40u}) {
+        miss(mp, 10);
+        miss(mp, next);
+    }
+    auto succ = mp.successorsOf(10);
+    ASSERT_EQ(succ.size(), 2u);
+    EXPECT_EQ(succ[0], 40u);
+    EXPECT_EQ(succ[1], 30u);
+}
+
+TEST(Markov, AlternationCapturedBySlots)
+{
+    // The paper's parser/vortex argument: a page whose successor
+    // alternates keeps both candidates with s=2.
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    for (int round = 0; round < 3; ++round) {
+        miss(mp, 1);
+        miss(mp, round % 2 ? 5 : 2);
+    }
+    miss(mp, 99); // decouple
+    auto d = miss(mp, 1);
+    EXPECT_EQ(d.targets.size(), 2u);
+}
+
+TEST(Markov, SmallTableThrashesOnLargeFootprint)
+{
+    // Footprint of 64 pages with a 16-row table: rows are evicted
+    // before their history is consulted again.
+    MarkovPrefetcher mp({16, TableAssoc::Direct}, 2);
+    std::uint64_t predicted = 0;
+    for (int pass = 0; pass < 4; ++pass)
+        for (Vpn v = 0; v < 64; ++v)
+            predicted += miss(mp, v * 131 % 64 + 1000).targets.size();
+    EXPECT_EQ(predicted, 0u);
+}
+
+TEST(Markov, SelfSuccessorIgnored)
+{
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    miss(mp, 10);
+    miss(mp, 10);
+    EXPECT_TRUE(mp.successorsOf(10).empty());
+}
+
+TEST(Markov, ResetClearsHistory)
+{
+    MarkovPrefetcher mp({256, TableAssoc::Direct}, 2);
+    miss(mp, 10);
+    miss(mp, 20);
+    mp.reset();
+    EXPECT_TRUE(mp.successorsOf(10).empty());
+    // prev-miss pointer cleared: the first post-reset miss must not
+    // create a phantom 20 -> 77 edge.
+    miss(mp, 77);
+    EXPECT_TRUE(mp.successorsOf(20).empty());
+    EXPECT_TRUE(miss(mp, 10).targets.empty());
+}
+
+// ---------------------------------------------------------------- RP
+
+TEST(Recency, PrefetchesStackNeighbours)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    // Build eviction history 1,2,3 then miss on 2.
+    miss(rp, 100, 0, 1);
+    miss(rp, 101, 0, 2);
+    miss(rp, 102, 0, 3);
+    auto d = miss(rp, 2, 0, 103);
+    ASSERT_EQ(d.targets.size(), 2u);
+    EXPECT_EQ(d.targets[0], 3u);
+    EXPECT_EQ(d.targets[1], 1u);
+    EXPECT_EQ(d.stateOps, 4u); // 2 unlink writes + 2 push writes
+}
+
+TEST(Recency, FirstTouchMissesPredictNothing)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    auto d = miss(rp, 7);
+    EXPECT_TRUE(d.targets.empty());
+    EXPECT_EQ(d.stateOps, 0u);
+}
+
+TEST(Recency, StateLivesInPageTable)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    miss(rp, 100, 0, 1);
+    EXPECT_TRUE(pt.find(1)->inStack);
+    EXPECT_EQ(rp.stack().top(), 1u);
+}
+
+TEST(Recency, DropsPrefetchesWhenBusyAndProfileSaysInMemory)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    EXPECT_TRUE(rp.dropPrefetchesWhenBusy());
+    EXPECT_EQ(rp.hardwareProfile().tableLocation, "In Memory");
+    EXPECT_EQ(rp.hardwareProfile().memOpsPerMiss, 4u);
+}
+
+TEST(Recency, ResetEmptiesStack)
+{
+    PageTable pt;
+    RecencyPrefetcher rp(pt);
+    miss(rp, 100, 0, 1);
+    miss(rp, 101, 0, 2);
+    rp.reset();
+    EXPECT_EQ(rp.stack().linkedCount(), 0u);
+    auto d = miss(rp, 1, 0, kNoPage);
+    EXPECT_TRUE(d.targets.empty());
+}
+
+// ---------------------------------------------------------------- DP
+
+TEST(Distance, AdapterMatchesCorePredictor)
+{
+    DistancePrefetcher dp({256, TableAssoc::Direct}, 2);
+    miss(dp, 1);
+    miss(dp, 2);
+    auto d = miss(dp, 3);
+    ASSERT_EQ(d.targets.size(), 1u);
+    EXPECT_EQ(d.targets[0], 4u);
+    EXPECT_EQ(d.stateOps, 0u);
+}
+
+TEST(Distance, LabelAndProfile)
+{
+    DistancePrefetcher dp({64, TableAssoc::Full}, 4);
+    EXPECT_EQ(dp.label(), "DP,64,F");
+    EXPECT_EQ(dp.hardwareProfile().indexedBy, "Distance");
+    EXPECT_EQ(dp.hardwareProfile().maxPrefetches, "4");
+}
+
+TEST(Distance, ResetClears)
+{
+    DistancePrefetcher dp({256, TableAssoc::Direct}, 2);
+    miss(dp, 1);
+    miss(dp, 2);
+    miss(dp, 3);
+    dp.reset();
+    miss(dp, 50);
+    EXPECT_TRUE(miss(dp, 51).targets.empty());
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(Factory, BuildsEveryScheme)
+{
+    PageTable pt;
+    for (Scheme scheme : {Scheme::SP, Scheme::ASP, Scheme::MP,
+                          Scheme::RP, Scheme::DP}) {
+        PrefetcherSpec spec;
+        spec.scheme = scheme;
+        auto pf = makePrefetcher(spec, pt);
+        ASSERT_NE(pf, nullptr);
+        EXPECT_EQ(pf->name(), schemeName(scheme));
+    }
+}
+
+TEST(Factory, NoneYieldsNull)
+{
+    PageTable pt;
+    PrefetcherSpec spec;
+    spec.scheme = Scheme::None;
+    EXPECT_EQ(makePrefetcher(spec, pt), nullptr);
+}
+
+TEST(Factory, SchemeNamesRoundTrip)
+{
+    for (Scheme s : {Scheme::None, Scheme::SP, Scheme::ASP, Scheme::MP,
+                     Scheme::RP, Scheme::DP})
+        EXPECT_EQ(parseScheme(schemeName(s)), s);
+    EXPECT_EXIT(parseScheme("XYZ"), ::testing::ExitedWithCode(1),
+                "unknown prefetching scheme");
+}
+
+TEST(Factory, SpecLabels)
+{
+    PrefetcherSpec spec;
+    spec.scheme = Scheme::DP;
+    spec.table = TableConfig{128, TableAssoc::TwoWay};
+    EXPECT_EQ(spec.label(), "DP,128,2");
+    spec.scheme = Scheme::RP;
+    EXPECT_EQ(spec.label(), "RP");
+    spec.scheme = Scheme::None;
+    EXPECT_EQ(spec.label(), "none");
+}
+
+} // namespace
+} // namespace tlbpf

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the reference-stream substrate: records, vector
+ * streams, adaptors and the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/adaptors.hh"
+#include "trace/ref_stream.hh"
+#include "trace/trace_file.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+MemRef
+ref(Addr vaddr, Addr pc = 0x400000, bool write = false,
+    std::uint64_t icount = 0)
+{
+    return MemRef{vaddr, pc, write, icount};
+}
+
+std::unique_ptr<VectorStream>
+stream(std::initializer_list<Addr> addrs)
+{
+    std::vector<MemRef> refs;
+    for (Addr a : addrs)
+        refs.push_back(ref(a));
+    return std::make_unique<VectorStream>(std::move(refs));
+}
+
+TEST(MemRef, VpnUsesPageSize)
+{
+    MemRef r = ref(4096 * 7 + 123);
+    EXPECT_EQ(r.vpn(), 7u);
+    EXPECT_EQ(r.vpn(8192), 3u);
+}
+
+TEST(VectorStream, YieldsAllThenEnds)
+{
+    auto s = stream({1, 2, 3});
+    MemRef r;
+    EXPECT_TRUE(s->next(r));
+    EXPECT_EQ(r.vaddr, 1u);
+    EXPECT_TRUE(s->next(r));
+    EXPECT_TRUE(s->next(r));
+    EXPECT_FALSE(s->next(r));
+    EXPECT_FALSE(s->next(r)); // stays ended
+}
+
+TEST(VectorStream, ResetRewinds)
+{
+    auto s = stream({10, 20});
+    collect(*s);
+    s->reset();
+    auto again = collect(*s);
+    ASSERT_EQ(again.size(), 2u);
+    EXPECT_EQ(again[0].vaddr, 10u);
+}
+
+TEST(Collect, RespectsLimit)
+{
+    auto s = stream({1, 2, 3, 4});
+    auto v = collect(*s, 2);
+    EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(DistinctPages, CountsPages)
+{
+    auto s = stream({0, 100, 4096, 8192, 8200});
+    EXPECT_EQ(distinctPages(*s), 3u);
+}
+
+TEST(TakeStream, TruncatesAndResets)
+{
+    auto t = TakeStream(stream({1, 2, 3, 4, 5}), 3);
+    EXPECT_EQ(collect(t).size(), 3u);
+    t.reset();
+    EXPECT_EQ(collect(t).size(), 3u);
+}
+
+TEST(TakeStream, ShortInnerEndsEarly)
+{
+    auto t = TakeStream(stream({1, 2}), 10);
+    EXPECT_EQ(collect(t).size(), 2u);
+}
+
+TEST(SkipStream, DropsPrefix)
+{
+    auto s = SkipStream(stream({1, 2, 3, 4}), 2);
+    auto v = collect(s);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0].vaddr, 3u);
+    s.reset();
+    EXPECT_EQ(collect(s).size(), 2u);
+}
+
+TEST(SkipStream, SkipBeyondEndYieldsNothing)
+{
+    auto s = SkipStream(stream({1, 2}), 5);
+    EXPECT_TRUE(collect(s).empty());
+}
+
+TEST(InterleaveStream, RoundRobinWithWeights)
+{
+    std::vector<std::unique_ptr<RefStream>> inners;
+    inners.push_back(stream({1, 2, 3, 4}));
+    inners.push_back(stream({100, 200}));
+    InterleaveStream s(std::move(inners), {2, 1});
+    auto v = collect(s);
+    ASSERT_EQ(v.size(), 6u);
+    EXPECT_EQ(v[0].vaddr, 1u);
+    EXPECT_EQ(v[1].vaddr, 2u);
+    EXPECT_EQ(v[2].vaddr, 100u);
+    EXPECT_EQ(v[3].vaddr, 3u);
+    EXPECT_EQ(v[4].vaddr, 4u);
+    EXPECT_EQ(v[5].vaddr, 200u);
+}
+
+TEST(InterleaveStream, DrainsLongerStreamAfterShortEnds)
+{
+    std::vector<std::unique_ptr<RefStream>> inners;
+    inners.push_back(stream({1}));
+    inners.push_back(stream({100, 200, 300}));
+    InterleaveStream s(std::move(inners), {1, 1});
+    auto v = collect(s);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v.back().vaddr, 300u);
+}
+
+TEST(InterleaveStream, ResetReplaysIdentically)
+{
+    std::vector<std::unique_ptr<RefStream>> inners;
+    inners.push_back(stream({1, 2, 3}));
+    inners.push_back(stream({4, 5}));
+    InterleaveStream s(std::move(inners), {1, 2});
+    auto first = collect(s);
+    s.reset();
+    auto second = collect(s);
+    EXPECT_EQ(first, second);
+}
+
+TEST(ConcatStream, PlaysInOrder)
+{
+    std::vector<std::unique_ptr<RefStream>> inners;
+    inners.push_back(stream({1, 2}));
+    inners.push_back(stream({3}));
+    ConcatStream s(std::move(inners));
+    auto v = collect(s);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2].vaddr, 3u);
+    s.reset();
+    EXPECT_EQ(collect(s).size(), 3u);
+}
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _path = ::testing::TempDir() + "trace_test.tpft";
+    }
+
+    void TearDown() override { std::remove(_path.c_str()); }
+
+    std::string _path;
+};
+
+TEST_F(TraceFileTest, RoundTripPreservesRecords)
+{
+    std::vector<MemRef> refs = {
+        ref(4096, 0x1000, false, 0),
+        ref(8192, 0x1004, true, 3),
+        ref(100, 0x999, false, 10),          // backward jump
+        ref(1ull << 44, 0x1000, true, 1000), // large forward jump
+    };
+    {
+        TraceWriter writer(_path);
+        for (const MemRef &r : refs)
+            writer.write(r);
+        writer.close();
+        EXPECT_EQ(writer.written(), refs.size());
+    }
+    TraceReader reader(_path);
+    EXPECT_EQ(reader.count(), refs.size());
+    auto out = collect(reader);
+    EXPECT_EQ(out, refs);
+}
+
+TEST_F(TraceFileTest, ResetReplays)
+{
+    {
+        TraceWriter writer(_path);
+        writer.write(ref(1));
+        writer.write(ref(2));
+    }
+    TraceReader reader(_path);
+    auto a = collect(reader);
+    reader.reset();
+    auto b = collect(reader);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 2u);
+}
+
+TEST_F(TraceFileTest, DumpTraceCopiesWholeStream)
+{
+    auto s = stream({5, 6, 7});
+    EXPECT_EQ(dumpTrace(*s, _path), 3u);
+    TraceReader reader(_path);
+    EXPECT_EQ(collect(reader).size(), 3u);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ TraceReader reader("/nonexistent/trace.tpft"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    {
+        std::FILE *f = std::fopen(_path.c_str(), "wb");
+        std::fputs("NOT A TRACE FILE AT ALL", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT({ TraceReader reader(_path); },
+                ::testing::ExitedWithCode(1), "bad magic");
+}
+
+} // namespace
+} // namespace tlbpf
