@@ -9,8 +9,8 @@ DistancePredictor::DistancePredictor(
     const DistancePredictorConfig &config)
     : _config(config), _table(config.table)
 {
-    tlbpf_assert(config.slots >= 1 && config.slots <= 8,
-                 "distance predictor slots must be in [1, 8]");
+    if (config.slots < 1 || config.slots > 8)
+        tlbpf_fatal("distance predictor slots must be in [1, 8]");
 }
 
 void

@@ -67,12 +67,14 @@ class PredictionTable
     explicit PredictionTable(const TableConfig &config)
         : _config(config), _ways(config.ways())
     {
-        tlbpf_assert(config.rows > 0, "prediction table needs rows");
-        tlbpf_assert(config.rows % _ways == 0,
-                     "rows (", config.rows,
-                     ") not a multiple of ways (", _ways, ")");
-        tlbpf_assert(isPowerOfTwo(config.numSets()),
-                     "prediction table sets must be a power of two");
+        if (config.rows == 0)
+            tlbpf_fatal("prediction table needs rows");
+        if (config.rows % _ways != 0) {
+            tlbpf_fatal("rows (", config.rows,
+                        ") not a multiple of ways (", _ways, ")");
+        }
+        if (!isPowerOfTwo(config.numSets()))
+            tlbpf_fatal("prediction table sets must be a power of two");
         _rows.resize(config.rows);
     }
 

@@ -7,7 +7,8 @@ MarkovPrefetcher::MarkovPrefetcher(const TableConfig &table,
                                    std::uint32_t slots)
     : _tableConfig(table), _slots(slots), _table(table)
 {
-    tlbpf_assert(slots >= 1 && slots <= 8, "MP slots must be in [1, 8]");
+    if (slots < 1 || slots > 8)
+        tlbpf_fatal("MP slots must be in [1, 8]");
 }
 
 void

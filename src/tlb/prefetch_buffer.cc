@@ -8,7 +8,8 @@ namespace tlbpf
 PrefetchBuffer::PrefetchBuffer(std::uint32_t entries)
     : _capacity(entries)
 {
-    tlbpf_assert(entries > 0, "prefetch buffer needs at least one entry");
+    if (entries == 0)
+        tlbpf_fatal("prefetch buffer needs at least one entry");
 }
 
 bool

@@ -9,16 +9,18 @@ namespace tlbpf
 Tlb::Tlb(const TlbConfig &config)
     : _config(config)
 {
-    tlbpf_assert(config.entries > 0, "TLB needs at least one entry");
+    if (config.entries == 0)
+        tlbpf_fatal("TLB needs at least one entry");
     if (config.assoc == 0) {
         _ways = config.entries;
     } else {
-        tlbpf_assert(config.entries % config.assoc == 0,
-                     "TLB entries (", config.entries,
-                     ") must be a multiple of associativity (",
-                     config.assoc, ")");
-        tlbpf_assert(isPowerOfTwo(config.numSets()),
-                     "number of TLB sets must be a power of two");
+        if (config.entries % config.assoc != 0) {
+            tlbpf_fatal("TLB entries (", config.entries,
+                        ") must be a multiple of associativity (",
+                        config.assoc, ")");
+        }
+        if (!isPowerOfTwo(config.numSets()))
+            tlbpf_fatal("number of TLB sets must be a power of two");
         _ways = config.assoc;
     }
     _entries.resize(static_cast<std::size_t>(_config.numSets()) * _ways);

@@ -8,8 +8,9 @@ namespace tlbpf
 TwoLevelTlb::TwoLevelTlb(const TlbConfig &l1, const TlbConfig &l2)
     : _l1(l1), _l2(l2)
 {
-    tlbpf_assert(l2.entries >= l1.entries,
-                 "inclusive hierarchy needs L2 at least as large as L1");
+    if (l2.entries < l1.entries)
+        tlbpf_fatal(
+            "inclusive hierarchy needs L2 at least as large as L1");
 }
 
 void

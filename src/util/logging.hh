@@ -62,7 +62,7 @@ std::string
 format(Args &&...args)
 {
     std::ostringstream oss;
-    (oss << ... << std::forward<Args>(args));
+    ((oss << std::forward<Args>(args)), ...);
     return oss.str();
 }
 

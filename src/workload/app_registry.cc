@@ -45,7 +45,8 @@ appsInSuite(const std::string &suite)
 std::unique_ptr<RefStream>
 buildApp(const AppModel &app, std::uint64_t refs)
 {
-    tlbpf_assert(refs > 0, "need a positive reference budget");
+    if (refs == 0)
+        tlbpf_fatal("need a positive reference budget");
     auto raw = app.build(refs);
     auto taken = std::make_unique<TakeStream>(std::move(raw), refs);
     return std::make_unique<PaceStream>(std::move(taken),

@@ -33,14 +33,6 @@ region(unsigned idx)
 
 constexpr Addr kPc = 0x500000;
 
-/** Streaming codec: big repeated scan, footprint >> any MP table. */
-std::unique_ptr<RefStream>
-streamingCodec(Vpn base, std::uint64_t footprint_pages,
-               std::int64_t stride, std::uint64_t refs)
-{
-    return makeLoopedScan(base, stride, footprint_pages, refs, kPc);
-}
-
 /** DP-only pattern: noisy repeating distance cycle over fresh pages. */
 std::unique_ptr<RefStream>
 noisyPattern(Vpn base, std::vector<std::int64_t> pattern, double noise,

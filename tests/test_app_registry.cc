@@ -113,8 +113,9 @@ TEST(BuildApp, InstructionCountsMonotonic)
     std::uint64_t prev = 0;
     bool first = true;
     while (stream->next(r)) {
-        if (!first)
+        if (!first) {
             EXPECT_GE(r.icount, prev);
+        }
         prev = r.icount;
         first = false;
     }

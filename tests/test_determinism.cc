@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Determinism guard: with a fixed workload seed, the functional and
+ * timing simulators must produce bit-identical statistics across
+ * repeated runs.  Future parallelism/sharding work must keep this
+ * suite green.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/app_registry.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+constexpr std::uint64_t kRefs = 50000;
+
+/** Every counter in a SimResult, in declaration order. */
+std::vector<std::uint64_t>
+counters(const SimResult &r)
+{
+    return {r.refs,
+            r.misses,
+            r.pbHits,
+            r.demandFetches,
+            r.prefetchesIssued,
+            r.prefetchesSuppressed,
+            r.stateOps,
+            r.pbEvictedUnused,
+            r.footprintPages,
+            r.contextSwitches};
+}
+
+std::vector<std::uint64_t>
+counters(const TimingResult &r)
+{
+    std::vector<std::uint64_t> all = counters(r.functional);
+    all.push_back(r.cycles);
+    all.push_back(r.stallCycles);
+    all.push_back(r.computeCycles);
+    all.push_back(r.memoryOps);
+    all.push_back(r.prefetchesSkippedBusy);
+    all.push_back(r.inFlightHits);
+    return all;
+}
+
+TEST(Determinism, FunctionalRunsAreBitIdentical)
+{
+    for (const char *app : {"gcc", "galgel", "mcf"}) {
+        for (const PrefetcherSpec &spec : table2Specs()) {
+            SimResult first = runFunctional(app, spec, kRefs);
+            SimResult second = runFunctional(app, spec, kRefs);
+            EXPECT_EQ(counters(first), counters(second))
+                << app << " under " << spec.label();
+        }
+    }
+}
+
+TEST(Determinism, FunctionalRunsSurviveInterleavedWork)
+{
+    // A run sandwiched between unrelated simulations must not change:
+    // no hidden global state may leak between simulator instances.
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    SimResult baseline = runFunctional("swim", dp, kRefs);
+
+    PrefetcherSpec rp;
+    rp.scheme = Scheme::RP;
+    (void)runFunctional("gcc", rp, kRefs);
+
+    SimResult again = runFunctional("swim", dp, kRefs);
+    EXPECT_EQ(counters(baseline), counters(again));
+}
+
+TEST(Determinism, TimedRunsAreBitIdentical)
+{
+    PrefetcherSpec spec;
+    spec.scheme = Scheme::DP;
+    TimingResult first = runTimed("gcc", spec, kRefs);
+    TimingResult second = runTimed("gcc", spec, kRefs);
+    EXPECT_EQ(counters(first), counters(second));
+}
+
+TEST(Determinism, RebuiltAppModelsReplayIdentically)
+{
+    // The registry must hand out streams that regenerate the same
+    // references on every build and after reset().
+    auto a = buildApp("vortex", 5000);
+    auto b = buildApp("vortex", 5000);
+    MemRef ra, rb;
+    std::uint64_t n = 0;
+    while (a->next(ra)) {
+        ASSERT_TRUE(b->next(rb)) << "stream b shorter at ref " << n;
+        ASSERT_EQ(ra, rb) << "divergence at ref " << n;
+        ++n;
+    }
+    EXPECT_FALSE(b->next(rb));
+
+    a->reset();
+    auto c = buildApp("vortex", 5000);
+    MemRef rc;
+    while (c->next(rc)) {
+        ASSERT_TRUE(a->next(ra));
+        ASSERT_EQ(ra, rc);
+    }
+}
+
+} // namespace
+} // namespace tlbpf

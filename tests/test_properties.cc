@@ -191,8 +191,11 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(128u, 2u),
                       std::make_pair(128u, 0u)),
     [](const auto &info) {
-        return "e" + std::to_string(info.param.first) + "w" +
-               std::to_string(info.param.second);
+        std::string name = "e";
+        name += std::to_string(info.param.first);
+        name += "w";
+        name += std::to_string(info.param.second);
+        return name;
     });
 
 /** DP parameter sweep: predictions bounded and deterministic. */
@@ -247,9 +250,12 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(TableAssoc::Direct,
                                          TableAssoc::Full)),
     [](const auto &info) {
-        return "r" + std::to_string(std::get<0>(info.param)) + "s" +
-               std::to_string(std::get<1>(info.param)) +
-               assocLabel(std::get<2>(info.param));
+        std::string name = "r";
+        name += std::to_string(std::get<0>(info.param));
+        name += "s";
+        name += std::to_string(std::get<1>(info.param));
+        name += assocLabel(std::get<2>(info.param));
+        return name;
     });
 
 /** Prefetch-buffer sweep: accuracy is monotone-ish in b for SP on a
