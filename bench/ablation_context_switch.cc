@@ -10,7 +10,10 @@
  * mechanism re-learns: DP only needs to re-observe its handful of hot
  * distances, while RP/MP must rebuild per-page history.
  *
- * Usage: ablation_context_switch [--refs N]
+ * The scheme × app × interval grid runs as one SweepEngine batch.
+ *
+ * Usage: ablation_context_switch [--refs N] [--threads N]
+ *                                [--csv out.csv] [--json out.json]
  */
 
 #include <cstdio>
@@ -26,34 +29,57 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchOptions(argc, argv);
 
     const std::uint64_t intervals[] = {0, 500000, 100000, 20000};
+    const Scheme schemes[] = {Scheme::DP, Scheme::RP, Scheme::MP};
+    const std::vector<std::string> &apps = highMissRateApps();
 
     std::printf("=== Extension: context-switch flushing (refs/app = "
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    for (Scheme scheme : {Scheme::DP, Scheme::RP, Scheme::MP}) {
+    // One batch over the full grid, scheme-major then app then
+    // interval, mirroring the rendering order below.
+    std::vector<SweepJob> jobs;
+    for (Scheme scheme : schemes) {
         PrefetcherSpec spec;
         spec.scheme = scheme;
         spec.table = TableConfig{256, TableAssoc::Direct};
         spec.slots = 2;
-
-        TablePrinter out({"app", "no switch", "every 500k",
-                          "every 100k", "every 20k"});
-        out.caption("--- " + schemeName(scheme) +
-                    " accuracy vs context-switch interval ---");
-        for (const std::string &app : highMissRateApps()) {
-            std::vector<std::string> row = {app};
+        for (const std::string &app : apps) {
             for (std::uint64_t interval : intervals) {
                 SimConfig config;
                 config.contextSwitchInterval = interval;
-                SimResult r = runFunctional(app, spec, options.refs,
-                                            config);
-                row.push_back(TablePrinter::num(r.accuracy(), 3));
+                jobs.push_back(SweepJob::functional(app, spec,
+                                                    options.refs,
+                                                    config));
             }
-            out.addRow(std::move(row));
-            std::fflush(stdout);
         }
-        out.print();
     }
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"scheme", "app", "interval", "accuracy"});
+
+    std::size_t cell = 0;
+    for (Scheme scheme : schemes) {
+        TableSink out("--- " + schemeName(scheme) +
+                      " accuracy vs context-switch interval ---");
+        out.header({"app", "no switch", "every 500k", "every 100k",
+                    "every 20k"});
+        for (const std::string &app : apps) {
+            std::vector<std::string> row = {app};
+            for (std::uint64_t interval : intervals) {
+                const SweepResult &r = results[cell++];
+                row.push_back(TablePrinter::num(r.accuracy(), 3));
+                if (!records.empty())
+                    records.row({schemeName(scheme), app,
+                                 TablePrinter::num(interval),
+                                 TablePrinter::num(r.accuracy(), 6)});
+            }
+            out.row(row);
+        }
+        out.finish();
+    }
+    records.finish();
     return 0;
 }

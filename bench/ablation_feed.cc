@@ -8,7 +8,10 @@
  * to penalize DP in any significant way."  This bench quantifies the
  * claim on the high-miss-rate applications.
  *
- * Usage: ablation_feed [--refs N]
+ * The app × scheme × feed grid runs as one SweepEngine batch.
+ *
+ * Usage: ablation_feed [--refs N] [--threads N] [--csv out.csv]
+ *                      [--json out.json]
  */
 
 #include <cstdio>
@@ -27,13 +30,13 @@ main(int argc, char **argv)
                 "training (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    TablePrinter out({"app", "DP miss", "DP full", "ASP miss",
-                      "ASP full", "MP miss", "MP full"});
-    out.caption("prediction accuracy under each training feed");
-
     const Scheme schemes[] = {Scheme::DP, Scheme::ASP, Scheme::MP};
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
+    const std::vector<std::string> &apps = highMissRateApps();
+
+    // App-major, then scheme, then (miss-only, full-feed), matching
+    // the table's column order.
+    std::vector<SweepJob> jobs;
+    for (const std::string &app : apps) {
         for (Scheme scheme : schemes) {
             PrefetcherSpec spec;
             spec.scheme = scheme;
@@ -42,17 +45,42 @@ main(int argc, char **argv)
             SimConfig miss_only;
             SimConfig full_feed;
             full_feed.trainOnAllRefs = true;
-            SimResult a = runFunctional(app, spec, options.refs,
-                                        miss_only);
-            SimResult b = runFunctional(app, spec, options.refs,
-                                        full_feed);
-            row.push_back(TablePrinter::num(a.accuracy(), 3));
-            row.push_back(TablePrinter::num(b.accuracy(), 3));
+            jobs.push_back(SweepJob::functional(app, spec,
+                                                options.refs,
+                                                miss_only));
+            jobs.push_back(SweepJob::functional(app, spec,
+                                                options.refs,
+                                                full_feed));
         }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
     }
-    out.print();
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
+    TableSink out("prediction accuracy under each training feed");
+    out.header({"app", "DP miss", "DP full", "ASP miss", "ASP full",
+                "MP miss", "MP full"});
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "scheme", "feed", "accuracy"});
+
+    std::size_t cell = 0;
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app};
+        for (Scheme scheme : schemes) {
+            const SweepResult &miss = results[cell++];
+            const SweepResult &full = results[cell++];
+            row.push_back(TablePrinter::num(miss.accuracy(), 3));
+            row.push_back(TablePrinter::num(full.accuracy(), 3));
+            if (!records.empty()) {
+                records.row({app, schemeName(scheme), "miss",
+                             TablePrinter::num(miss.accuracy(), 6)});
+                records.row({app, schemeName(scheme), "full",
+                             TablePrinter::num(full.accuracy(), 6)});
+            }
+        }
+        out.row(row);
+    }
+    out.finish();
+    records.finish();
     std::printf("(paper expectation: the miss-stream columns are not "
                 "significantly below the full-stream ones for DP)\n");
     return 0;

@@ -10,7 +10,8 @@
  *   DP+PC     — index by hash(PC, distance)
  *   DP+2dist  — index by hash(previous distance, current distance)
  *
- * Usage: ablation_indexing [--refs N]
+ * Usage: ablation_indexing [--refs N] [--threads N] [--csv out.csv]
+ *                          [--json out.json]
  */
 
 #include <cstdio>
@@ -197,24 +198,37 @@ main(int argc, char **argv)
                 "(refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    TablePrinter out({"app", "DP", "DP+PC", "DP+2dist"});
-    out.caption("prediction accuracy per indexing variant (r=256,D)");
-    for (const std::string &app : highMissRateApps()) {
-        out.addRow({app,
-                    TablePrinter::num(
-                        runVariant(app, IndexMode::Distance,
-                                   options.refs),
-                        3),
-                    TablePrinter::num(
-                        runVariant(app, IndexMode::PcDistance,
-                                   options.refs),
-                        3),
-                    TablePrinter::num(
-                        runVariant(app, IndexMode::TwoDistances,
-                                   options.refs),
-                        3)});
-        std::fflush(stdout);
+    // The experimental prefetcher is not a factory Scheme, so the
+    // cells cannot be SweepJobs; fan the app × mode grid out on the
+    // engine's thread pool directly, each cell writing its own slot.
+    const std::vector<std::string> &apps = highMissRateApps();
+    const IndexMode modes[] = {IndexMode::Distance,
+                               IndexMode::PcDistance,
+                               IndexMode::TwoDistances};
+    std::vector<double> accuracy(apps.size() * 3);
+    ThreadPool pool(options.threads);
+    pool.parallelFor(accuracy.size(), [&](std::size_t i) {
+        accuracy[i] =
+            runVariant(apps[i / 3], modes[i % 3], options.refs);
+    });
+
+    TableSink out("prediction accuracy per indexing variant (r=256,D)");
+    out.header({"app", "DP", "DP+PC", "DP+2dist"});
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "variant", "accuracy"});
+    const char *variant_names[] = {"DP", "DP+PC", "DP+2dist"};
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        out.row({apps[a], TablePrinter::num(accuracy[a * 3 + 0], 3),
+                 TablePrinter::num(accuracy[a * 3 + 1], 3),
+                 TablePrinter::num(accuracy[a * 3 + 2], 3)});
+        if (!records.empty())
+            for (std::size_t m = 0; m < 3; ++m)
+                records.row({apps[a], variant_names[m],
+                             TablePrinter::num(accuracy[a * 3 + m],
+                                               6)});
     }
-    out.print();
+    out.finish();
+    records.finish();
     return 0;
 }

@@ -10,7 +10,8 @@
  *
  * Geometry: 32-entry FA L1 + 128/256-entry FA L2, b = 16.
  *
- * Usage: ablation_two_level [--refs N]
+ * Usage: ablation_two_level [--refs N] [--threads N] [--csv out.csv]
+ *                           [--json out.json]
  */
 
 #include <cstdio>
@@ -100,24 +101,56 @@ main(int argc, char **argv)
                 "prefetcher after the L2 (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    TablePrinter out({"app", "L2=128 DP", "L2=128 RP", "L2=256 DP",
-                      "L2=256 RP", "L2-miss rate (128)"});
-    out.caption("prediction accuracy on the L2 miss stream");
-    for (const std::string &app : highMissRateApps()) {
-        TwoLevelResult dp128 = run(app, Scheme::DP, 128, options.refs);
-        TwoLevelResult rp128 = run(app, Scheme::RP, 128, options.refs);
-        TwoLevelResult dp256 = run(app, Scheme::DP, 256, options.refs);
-        TwoLevelResult rp256 = run(app, Scheme::RP, 256, options.refs);
-        out.addRow({app, TablePrinter::num(dp128.accuracy(), 3),
-                    TablePrinter::num(rp128.accuracy(), 3),
-                    TablePrinter::num(dp256.accuracy(), 3),
-                    TablePrinter::num(rp256.accuracy(), 3),
-                    TablePrinter::num(
-                        static_cast<double>(dp128.l2Misses) /
-                            static_cast<double>(options.refs),
-                        4)});
-        std::fflush(stdout);
+    // The two-level loop is not a factory SweepJob; fan the app ×
+    // (scheme, L2 size) grid out on the thread pool, one slot per
+    // cell: dp128 / rp128 / dp256 / rp256.
+    const std::vector<std::string> &apps = highMissRateApps();
+    const std::pair<Scheme, std::uint32_t> cells[] = {
+        {Scheme::DP, 128},
+        {Scheme::RP, 128},
+        {Scheme::DP, 256},
+        {Scheme::RP, 256},
+    };
+    std::vector<TwoLevelResult> results(apps.size() * 4);
+    ThreadPool pool(options.threads);
+    pool.parallelFor(results.size(), [&](std::size_t i) {
+        const auto &[scheme, l2] = cells[i % 4];
+        results[i] = run(apps[i / 4], scheme, l2, options.refs);
+    });
+
+    TableSink out("prediction accuracy on the L2 miss stream");
+    out.header({"app", "L2=128 DP", "L2=128 RP", "L2=256 DP",
+                "L2=256 RP", "L2-miss rate (128)"});
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "scheme", "l2_entries", "accuracy",
+                        "l2_miss_rate"});
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const TwoLevelResult &dp128 = results[a * 4 + 0];
+        out.row({apps[a],
+                 TablePrinter::num(results[a * 4 + 0].accuracy(), 3),
+                 TablePrinter::num(results[a * 4 + 1].accuracy(), 3),
+                 TablePrinter::num(results[a * 4 + 2].accuracy(), 3),
+                 TablePrinter::num(results[a * 4 + 3].accuracy(), 3),
+                 TablePrinter::num(
+                     static_cast<double>(dp128.l2Misses) /
+                         static_cast<double>(options.refs),
+                     4)});
+        if (!records.empty())
+            for (std::size_t c = 0; c < 4; ++c)
+                records.row(
+                    {apps[a], schemeName(cells[c].first),
+                     TablePrinter::num(
+                         static_cast<std::uint64_t>(cells[c].second)),
+                     TablePrinter::num(results[a * 4 + c].accuracy(),
+                                       6),
+                     TablePrinter::num(
+                         static_cast<double>(
+                             results[a * 4 + c].l2Misses) /
+                             static_cast<double>(options.refs),
+                         6)});
     }
-    out.print();
+    out.finish();
+    records.finish();
     return 0;
 }

@@ -1,19 +1,30 @@
 /**
  * @file
  * Shared helpers for the bench binaries that regenerate the paper's
- * tables and figures.
+ * tables and figures: standard option parsing (reference budget, app
+ * subset, thread count, CSV/JSON output paths), result-sink plumbing,
+ * and the figure-style accuracy sweep driver.
+ *
+ * All sweeps execute on the SweepEngine: a bench builds its full
+ * (app × mechanism × geometry) job list up front, runs it across
+ * --threads workers, and renders the ordered results — so output is
+ * bit-identical for any thread count.
  */
 
 #ifndef TLBPF_BENCH_BENCH_COMMON_HH
 #define TLBPF_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "run/result_sink.hh"
+#include "run/sweep_engine.hh"
 #include "sim/experiment.hh"
 #include "util/cli.hh"
-#include "util/csv.hh"
+#include "util/logging.hh"
 #include "util/table_printer.hh"
 
 namespace tlbpf::bench
@@ -23,15 +34,18 @@ namespace tlbpf::bench
 struct BenchOptions
 {
     std::uint64_t refs = kDefaultBenchRefs;
-    std::string csvPath;   ///< optional machine-readable dump
+    std::string csvPath;           ///< optional machine-readable dump
+    std::string jsonPath;          ///< optional JSON dump
     std::vector<std::string> apps; ///< restrict to a subset
+    unsigned threads = 1;          ///< sweep-engine worker count
 };
 
 inline BenchOptions
 parseBenchOptions(int argc, const char *const *argv,
                   std::vector<std::string> extra_known = {})
 {
-    std::vector<std::string> known = {"refs", "csv", "apps"};
+    std::vector<std::string> known = {"refs", "csv", "json", "apps",
+                                      "threads"};
     for (auto &k : extra_known)
         known.push_back(k);
     CliArgs args(argc, argv, known);
@@ -40,51 +54,114 @@ parseBenchOptions(int argc, const char *const *argv,
         args.getInt("refs", static_cast<std::int64_t>(
                                 kDefaultBenchRefs)));
     options.csvPath = args.get("csv");
+    options.jsonPath = args.get("json");
     if (args.has("apps"))
         options.apps = parseStringList(args.get("apps"));
+    std::int64_t threads = args.getInt(
+        "threads",
+        static_cast<std::int64_t>(ThreadPool::defaultThreadCount()));
+    if (threads < 0 || threads > 4096)
+        tlbpf_fatal("--threads must be in [0, 4096], got ", threads);
+    options.threads = threads ? static_cast<unsigned>(threads)
+                              : ThreadPool::defaultThreadCount();
     return options;
 }
 
-/** Print one figure-style "bar group" row per application. */
+/** True if @p name passes the --apps filter. */
+inline bool
+appSelected(const BenchOptions &options, const std::string &name)
+{
+    return options.apps.empty() ||
+           std::find(options.apps.begin(), options.apps.end(), name) !=
+               options.apps.end();
+}
+
+/**
+ * The machine-readable sinks requested on the command line (--csv,
+ * --json), with no header set yet; empty() if neither was given.
+ */
+inline MultiSink
+recordSinks(const BenchOptions &options)
+{
+    MultiSink sinks;
+    if (!options.csvPath.empty())
+        sinks.add(std::make_unique<CsvSink>(options.csvPath));
+    if (!options.jsonPath.empty())
+        sinks.add(std::make_unique<JsonSink>(options.jsonPath));
+    return sinks;
+}
+
+/**
+ * Run @p jobs on an engine with options.threads workers, converting a
+ * malformed-job exception into the clean fatal exit the bench
+ * binaries document (reachable via --refs 0).
+ */
+inline std::vector<SweepResult>
+runBatch(const BenchOptions &options, const std::vector<SweepJob> &jobs)
+{
+    try {
+        // No point spinning up more workers than there are cells.
+        unsigned threads = static_cast<unsigned>(
+            std::min<std::size_t>(options.threads,
+                                  std::max<std::size_t>(jobs.size(),
+                                                        1)));
+        SweepEngine engine(threads);
+        return engine.run(jobs);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
+}
+
+/**
+ * Print one figure-style "bar group" row per application: the full
+ * app × spec grid runs as one engine batch, the table shows accuracy
+ * per (app, spec) cell, and --csv/--json receive long-format
+ * (app, mechanism, accuracy, miss_rate) records.
+ */
 inline void
 printAccuracyFigure(const std::string &caption,
                     const std::vector<const AppModel *> &apps,
                     const std::vector<PrefetcherSpec> &specs,
                     const BenchOptions &options)
 {
+    std::vector<const AppModel *> selected;
+    for (const AppModel *app : apps)
+        if (appSelected(options, app->name))
+            selected.push_back(app);
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(selected.size() * specs.size());
+    for (const AppModel *app : selected)
+        for (const PrefetcherSpec &spec : specs)
+            jobs.push_back(SweepJob::functional(app->name, spec,
+                                                options.refs));
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
     std::vector<std::string> header = {"app"};
     for (const PrefetcherSpec &spec : specs)
         header.push_back(spec.label());
-    TablePrinter table(std::move(header));
-    table.caption(caption);
+    TableSink table(caption);
+    table.header(header);
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!options.csvPath.empty()) {
-        csv = std::make_unique<CsvWriter>(options.csvPath);
-        std::vector<std::string> csv_header = {"app", "mechanism",
-                                               "accuracy",
-                                               "miss_rate"};
-        csv->writeRow(csv_header);
-    }
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "mechanism", "accuracy", "miss_rate"});
 
-    for (const AppModel *app : apps) {
-        if (!options.apps.empty() &&
-            std::find(options.apps.begin(), options.apps.end(),
-                      app->name) == options.apps.end())
-            continue;
+    std::size_t cell = 0;
+    for (const AppModel *app : selected) {
         std::vector<std::string> row = {app->name};
-        auto cells = accuracySweep(app->name, specs, options.refs);
-        for (const AccuracyCell &cell : cells) {
-            row.push_back(TablePrinter::num(cell.accuracy, 3));
-            if (csv)
-                csv->writeRow({app->name, cell.label,
-                               TablePrinter::num(cell.accuracy, 6),
-                               TablePrinter::num(cell.missRate, 6)});
+        for (const PrefetcherSpec &spec : specs) {
+            const SweepResult &r = results[cell++];
+            row.push_back(TablePrinter::num(r.accuracy(), 3));
+            if (!records.empty())
+                records.row({app->name, spec.label(),
+                             TablePrinter::num(r.accuracy(), 6),
+                             TablePrinter::num(r.missRate(), 6)});
         }
-        table.addRow(std::move(row));
-        std::fflush(stdout);
+        table.row(row);
     }
-    table.print();
+    table.finish();
+    records.finish();
 }
 
 } // namespace tlbpf::bench

@@ -10,7 +10,8 @@
  * stream and how much of the stream the top-8 distances cover — the
  * higher the coverage, the smaller the DP table can be.
  *
- * Usage: distance_stats [--refs N] [--apps a,b,c]
+ * Usage: distance_stats [--refs N] [--apps a,b,c] [--threads N]
+ *                       [--csv out.csv] [--json out.json]
  */
 
 #include <cstdio>
@@ -31,24 +32,22 @@ main(int argc, char **argv)
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    TablePrinter out({"app", "misses", "distinct pages",
-                      "distinct distances", "top-8 coverage",
-                      "top-1 distance"});
-    out.caption("128-entry FA TLB; distances between successive "
-                "missing pages");
+    std::vector<const AppModel *> apps;
+    for (const AppModel &app : appRegistry())
+        if (appSelected(options, app.name))
+            apps.push_back(&app);
 
-    for (const AppModel &app : appRegistry()) {
-        if (!options.apps.empty() &&
-            std::find(options.apps.begin(), options.apps.end(),
-                      app.name) == options.apps.end())
-            continue;
-
+    // One pool cell per application; each builds its own stream, TLB
+    // and histograms and fills its row slot.
+    std::vector<std::vector<std::string>> rows(apps.size());
+    ThreadPool pool(options.threads);
+    pool.parallelFor(apps.size(), [&](std::size_t i) {
         Tlb tlb({128, 0});
         SparseHistogram distances;
         SparseHistogram pages;
         Vpn prev = kNoPage;
 
-        auto stream = buildApp(app.name, options.refs);
+        auto stream = buildApp(apps[i]->name, options.refs);
         MemRef ref;
         while (stream->next(ref)) {
             Vpn vpn = ref.vpn();
@@ -72,16 +71,34 @@ main(int argc, char **argv)
                        2) +
                    ")";
         }
-        out.addRow({app.name, TablePrinter::num(distances.total()),
-                    TablePrinter::num(
-                        static_cast<std::uint64_t>(pages.distinct())),
-                    TablePrinter::num(static_cast<std::uint64_t>(
-                        distances.distinct())),
-                    TablePrinter::num(distances.coverage(8), 3),
-                    top1});
-        std::fflush(stdout);
+        rows[i] = {apps[i]->name,
+                   TablePrinter::num(distances.total()),
+                   TablePrinter::num(
+                       static_cast<std::uint64_t>(pages.distinct())),
+                   TablePrinter::num(static_cast<std::uint64_t>(
+                       distances.distinct())),
+                   TablePrinter::num(distances.coverage(8), 3),
+                   top1};
+    });
+
+    TableSink out("128-entry FA TLB; distances between successive "
+                  "missing pages");
+    std::vector<std::string> header = {"app", "misses",
+                                       "distinct pages",
+                                       "distinct distances",
+                                       "top-8 coverage",
+                                       "top-1 distance"};
+    out.header(header);
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header(header);
+    for (const std::vector<std::string> &row : rows) {
+        out.row(row);
+        if (!records.empty())
+            records.row(row);
     }
-    out.print();
+    out.finish();
+    records.finish();
     std::printf("(a Markov table needs ~'distinct pages' rows; DP "
                 "needs ~'distinct distances' — the gap is the paper's "
                 "space argument)\n");

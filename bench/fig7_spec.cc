@@ -9,7 +9,11 @@
  * and D/4/2/F indexing; DP and ASP direct-mapped with r from 1024 down
  * to 32.
  *
+ * The 26 × ~21 cell grid is one SweepEngine batch: --threads N runs
+ * it on N workers with bit-identical output to --threads 1.
+ *
  * Usage: fig7_spec [--refs N] [--apps gzip,mcf,...] [--csv out.csv]
+ *                  [--json out.json] [--threads N]
  */
 
 #include <cstdio>

@@ -4,7 +4,12 @@
  * ASP for the MediaBench (20), Etch (5) and Pointer-Intensive (5)
  * applications, same configuration and legend as Figure 7.
  *
+ * Each suite's grid runs as one SweepEngine batch (--threads N);
+ * note --csv/--json are rewritten per suite, so they capture the
+ * last suite printed.
+ *
  * Usage: fig8_suites [--refs N] [--apps gsm-enc,...] [--csv out.csv]
+ *                    [--json out.json] [--threads N]
  */
 
 #include <cstdio>

@@ -12,7 +12,11 @@
  * The paper's finding: DP is largely insensitive to all of these; a
  * small direct-mapped 32-256 entry table suffices.
  *
- * Usage: fig9_sensitivity [--panel r|s|b|tlb|all] [--refs N]
+ * Every panel is one SweepEngine batch over its app × config grid,
+ * run on --threads workers with results rendered in submission order.
+ *
+ * Usage: fig9_sensitivity [--panel r|s|b|tlb|page|all] [--refs N]
+ *                         [--threads N] [--csv out.csv] [--json out.json]
  */
 
 #include <cstdio>
@@ -35,8 +39,64 @@ dpSpec(std::uint32_t rows, TableAssoc assoc, std::uint32_t slots)
     return spec;
 }
 
+/** One Figure-9 panel column: a labelled (spec, geometry) variant. */
+struct PanelColumn
+{
+    std::string label;
+    PrefetcherSpec spec;
+    SimConfig config;
+};
+
+/**
+ * Run the app × column grid as one batch and render the accuracy
+ * table, plus long-format --csv/--json records tagged with the panel
+ * name.  Note --csv/--json are rewritten per panel; use --panel to
+ * capture one.
+ */
 void
-panelTableGeometry(const BenchOptions &options)
+runPanel(const std::string &caption, const std::string &panel,
+         const std::vector<PanelColumn> &columns,
+         const BenchOptions &options)
+{
+    const std::vector<std::string> &apps = highMissRateApps();
+
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * columns.size());
+    for (const std::string &app : apps)
+        for (const PanelColumn &col : columns)
+            jobs.push_back(SweepJob::functional(app, col.spec,
+                                                options.refs,
+                                                col.config));
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
+    std::vector<std::string> header = {"app"};
+    for (const PanelColumn &col : columns)
+        header.push_back(col.label);
+    TableSink table(caption);
+    table.header(header);
+
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"panel", "app", "column", "accuracy"});
+
+    std::size_t cell = 0;
+    for (const std::string &app : apps) {
+        std::vector<std::string> row = {app};
+        for (const PanelColumn &col : columns) {
+            const SweepResult &r = results[cell++];
+            row.push_back(TablePrinter::num(r.accuracy(), 3));
+            if (!records.empty())
+                records.row({panel, app, col.label,
+                             TablePrinter::num(r.accuracy(), 6)});
+        }
+        table.row(row);
+    }
+    table.finish();
+    records.finish();
+}
+
+std::vector<PanelColumn>
+tableGeometryColumns()
 {
     // Legend order from the paper: 1024,D / 1024,4 / 1024,2 / 512,D /
     // 512,4 / 256,D / 256,4 / 256,F / 128,D / 128,F / 64,D / 64,F /
@@ -50,108 +110,65 @@ panelTableGeometry(const BenchOptions &options)
         {64, TableAssoc::Direct},   {64, TableAssoc::Full},
         {32, TableAssoc::Direct},   {32, TableAssoc::Full},
     };
-    std::vector<std::string> header = {"app"};
+    std::vector<PanelColumn> columns;
     for (const auto &[rows, assoc] : configs)
-        header.push_back("DP," + std::to_string(rows) + "," +
-                         assocLabel(assoc));
-    TablePrinter out(std::move(header));
-    out.caption("--- Figure 9 panel: table size r and indexing ---");
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
-        for (const auto &[rows, assoc] : configs) {
-            SimResult r = runFunctional(app, dpSpec(rows, assoc, 2),
-                                        options.refs);
-            row.push_back(TablePrinter::num(r.accuracy(), 3));
-        }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
-    }
-    out.print();
+        columns.push_back({"DP," + std::to_string(rows) + "," +
+                               assocLabel(assoc),
+                           dpSpec(rows, assoc, 2), SimConfig{}});
+    return columns;
 }
 
-void
-panelSlots(const BenchOptions &options)
+std::vector<PanelColumn>
+slotColumns()
 {
-    TablePrinter out({"app", "s = 2", "s = 4", "s = 6"});
-    out.caption("--- Figure 9 panel: prediction slots s ---");
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
-        for (std::uint32_t s : {2u, 4u, 6u}) {
-            SimResult r = runFunctional(
-                app, dpSpec(256, TableAssoc::Direct, s), options.refs);
-            row.push_back(TablePrinter::num(r.accuracy(), 3));
-        }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
-    }
-    out.print();
+    std::vector<PanelColumn> columns;
+    for (std::uint32_t s : {2u, 4u, 6u})
+        columns.push_back({"s = " + std::to_string(s),
+                           dpSpec(256, TableAssoc::Direct, s),
+                           SimConfig{}});
+    return columns;
 }
 
-void
-panelBufferSize(const BenchOptions &options)
+std::vector<PanelColumn>
+bufferColumns()
 {
-    TablePrinter out({"app", "b = 16", "b = 32", "b = 64"});
-    out.caption("--- Figure 9 panel: prefetch buffer size b ---");
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
-        for (std::uint32_t b : {16u, 32u, 64u}) {
-            SimConfig config;
-            config.pbEntries = b;
-            SimResult r = runFunctional(
-                app, dpSpec(256, TableAssoc::Direct, 2), options.refs,
-                config);
-            row.push_back(TablePrinter::num(r.accuracy(), 3));
-        }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
+    std::vector<PanelColumn> columns;
+    for (std::uint32_t b : {16u, 32u, 64u}) {
+        SimConfig config;
+        config.pbEntries = b;
+        columns.push_back({"b = " + std::to_string(b),
+                           dpSpec(256, TableAssoc::Direct, 2), config});
     }
-    out.print();
+    return columns;
 }
 
-void
-panelTlbSize(const BenchOptions &options)
+std::vector<PanelColumn>
+tlbColumns()
 {
-    TablePrinter out({"app", "64-entry TLB", "128-entry TLB",
-                      "256-entry TLB"});
-    out.caption("--- Figure 9 panel: TLB size ---");
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
-        for (std::uint32_t entries : {64u, 128u, 256u}) {
-            SimConfig config;
-            config.tlb = TlbConfig{entries, 0};
-            SimResult r = runFunctional(
-                app, dpSpec(256, TableAssoc::Direct, 2), options.refs,
-                config);
-            row.push_back(TablePrinter::num(r.accuracy(), 3));
-        }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
+    std::vector<PanelColumn> columns;
+    for (std::uint32_t entries : {64u, 128u, 256u}) {
+        SimConfig config;
+        config.tlb = TlbConfig{entries, 0};
+        columns.push_back({std::to_string(entries) + "-entry TLB",
+                           dpSpec(256, TableAssoc::Direct, 2), config});
     }
-    out.print();
+    return columns;
 }
 
-void
-panelPageSize(const BenchOptions &options)
+std::vector<PanelColumn>
+pageColumns()
 {
     // The companion technical report [19] also sweeps the page size;
     // larger pages merge neighbouring 4KB-model pages, cutting the
     // miss rate while DP keeps predicting.
-    TablePrinter out({"app", "4KB pages", "8KB pages", "16KB pages"});
-    out.caption("--- sensitivity panel: page size (tech-report) ---");
-    for (const std::string &app : highMissRateApps()) {
-        std::vector<std::string> row = {app};
-        for (std::uint64_t bytes : {4096u, 8192u, 16384u}) {
-            SimConfig config;
-            config.pageBytes = bytes;
-            SimResult r = runFunctional(
-                app, dpSpec(256, TableAssoc::Direct, 2), options.refs,
-                config);
-            row.push_back(TablePrinter::num(r.accuracy(), 3));
-        }
-        out.addRow(std::move(row));
-        std::fflush(stdout);
+    std::vector<PanelColumn> columns;
+    for (std::uint64_t bytes : {4096u, 8192u, 16384u}) {
+        SimConfig config;
+        config.pageBytes = bytes;
+        columns.push_back({std::to_string(bytes / 1024) + "KB pages",
+                           dpSpec(256, TableAssoc::Direct, 2), config});
     }
-    out.print();
+    return columns;
 }
 
 } // namespace
@@ -160,21 +177,27 @@ int
 main(int argc, char **argv)
 {
     BenchOptions options = parseBenchOptions(argc, argv, {"panel"});
-    CliArgs args(argc, argv, {"refs", "csv", "apps", "panel"});
+    CliArgs args(argc, argv,
+                 {"refs", "csv", "json", "apps", "threads", "panel"});
     std::string panel = args.get("panel", "all");
 
     std::printf("=== Figure 9: DP sensitivity analysis (refs/app = "
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
     if (panel == "r" || panel == "all")
-        panelTableGeometry(options);
+        runPanel("--- Figure 9 panel: table size r and indexing ---",
+                 "r", tableGeometryColumns(), options);
     if (panel == "s" || panel == "all")
-        panelSlots(options);
+        runPanel("--- Figure 9 panel: prediction slots s ---", "s",
+                 slotColumns(), options);
     if (panel == "b" || panel == "all")
-        panelBufferSize(options);
+        runPanel("--- Figure 9 panel: prefetch buffer size b ---", "b",
+                 bufferColumns(), options);
     if (panel == "tlb" || panel == "all")
-        panelTlbSize(options);
+        runPanel("--- Figure 9 panel: TLB size ---", "tlb",
+                 tlbColumns(), options);
     if (panel == "page" || panel == "all")
-        panelPageSize(options);
+        runPanel("--- sensitivity panel: page size (tech-report) ---",
+                 "page", pageColumns(), options);
     return 0;
 }

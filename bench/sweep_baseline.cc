@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sweep-engine throughput baseline: runs a fixed mixed
+ * functional/timing job batch serially and in parallel, measures
+ * cells/second, and writes a JSON record (default BENCH_sweep.json)
+ * so the perf trajectory of the parallel sweep infrastructure is
+ * tracked across PRs.
+ *
+ * The batch is the Table-2 mechanism set crossed with the 8
+ * high-miss-rate applications (functional), plus RP/DP timing cells
+ * on the Table-3 applications — a miniature of the full paper
+ * regeneration.  Determinism is asserted, not assumed: the parallel
+ * run's counters must equal the serial run's.
+ *
+ * Usage: sweep_baseline [--refs N] [--threads N] [--json out.json]
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+    using namespace tlbpf::bench;
+    using Clock = std::chrono::steady_clock;
+
+    BenchOptions options = parseBenchOptions(argc, argv);
+    if (options.jsonPath.empty())
+        options.jsonPath = "BENCH_sweep.json";
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &app : highMissRateApps())
+        for (const PrefetcherSpec &spec : table2Specs())
+            jobs.push_back(SweepJob::functional(app, spec,
+                                                options.refs));
+    for (const std::string &app : table3Apps()) {
+        for (Scheme scheme : {Scheme::RP, Scheme::DP}) {
+            PrefetcherSpec spec;
+            spec.scheme = scheme;
+            spec.table = TableConfig{256, TableAssoc::Direct};
+            spec.slots = 2;
+            jobs.push_back(SweepJob::timed(app, spec, options.refs));
+        }
+    }
+
+    std::printf("=== Sweep-engine baseline: %zu cells, %llu refs/cell "
+                "===\n",
+                jobs.size(),
+                static_cast<unsigned long long>(options.refs));
+
+    auto time_run = [&](unsigned threads,
+                        std::vector<SweepResult> &out) {
+        SweepEngine engine(threads);
+        auto start = Clock::now();
+        out = engine.run(jobs);
+        return std::chrono::duration<double>(Clock::now() - start)
+            .count();
+    };
+
+    std::vector<SweepResult> serial_results;
+    std::vector<SweepResult> parallel_results;
+    double serial_s = time_run(1, serial_results);
+    double parallel_s = time_run(options.threads, parallel_results);
+
+    // The engine's contract, spot-checked on every baseline run.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const SimResult &a = serial_results[i].functional;
+        const SimResult &b = parallel_results[i].functional;
+        if (a.misses != b.misses || a.pbHits != b.pbHits ||
+            a.prefetchesIssued != b.prefetchesIssued)
+            tlbpf_fatal("parallel run diverged from serial at cell ",
+                        i);
+    }
+
+    double cells = static_cast<double>(jobs.size());
+    double serial_cps = cells / serial_s;
+    double parallel_cps = cells / parallel_s;
+
+    TableSink table;
+    table.header({"mode", "threads", "seconds", "cells/sec"});
+    table.row({"serial", "1", TablePrinter::num(serial_s, 3),
+               TablePrinter::num(serial_cps, 2)});
+    table.row({"parallel", std::to_string(options.threads),
+               TablePrinter::num(parallel_s, 3),
+               TablePrinter::num(parallel_cps, 2)});
+    table.finish();
+    std::printf("speedup: %.2fx (hardware concurrency: %u)\n",
+                serial_s / parallel_s, ThreadPool::defaultThreadCount());
+
+    JsonSink json(options.jsonPath);
+    json.header({"bench", "cells", "refs_per_cell", "threads",
+                 "hardware_concurrency", "serial_seconds",
+                 "parallel_seconds", "serial_cells_per_sec",
+                 "parallel_cells_per_sec", "speedup"});
+    json.row({"sweep_baseline", std::to_string(jobs.size()),
+              std::to_string(options.refs),
+              std::to_string(options.threads),
+              std::to_string(ThreadPool::defaultThreadCount()),
+              TablePrinter::num(serial_s, 4),
+              TablePrinter::num(parallel_s, 4),
+              TablePrinter::num(serial_cps, 2),
+              TablePrinter::num(parallel_cps, 2),
+              TablePrinter::num(serial_s / parallel_s, 3)});
+    json.finish();
+    std::printf("wrote %s\n", options.jsonPath.c_str());
+    return 0;
+}

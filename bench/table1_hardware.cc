@@ -2,7 +2,11 @@
  * @file
  * Regenerates paper Table 1: the hardware-cost comparison of ASP, MP,
  * RP and DP, straight from each mechanism's HardwareProfile, plus the
- * measured RP page-table overhead for a representative run.
+ * measured RP page-table overhead for a representative run (executed
+ * as a one-cell SweepEngine batch).
+ *
+ * Usage: table1_hardware [--refs N] [--threads N] [--csv out.csv]
+ *                        [--json out.json]
  */
 
 #include <cstdio>
@@ -31,41 +35,46 @@ main(int argc, char **argv)
     DistancePrefetcher dp(table, 2);
     const Prefetcher *schemes[] = {&asp, &mp, &rp, &dp};
 
-    TablePrinter out({"", "ASP", "MP", "RP", "DP"});
-    auto row = [&schemes](const std::string &label, auto field) {
+    TableSink out;
+    MultiSink records = recordSinks(options);
+    std::vector<std::string> header = {"", "ASP", "MP", "RP", "DP"};
+    out.header(header);
+    if (!records.empty())
+        records.header({"property", "ASP", "MP", "RP", "DP"});
+
+    auto row = [&](const std::string &label, auto field) {
         std::vector<std::string> cells = {label};
         for (const Prefetcher *scheme : schemes)
             cells.push_back(field(scheme->hardwareProfile()));
-        return cells;
+        out.row(cells);
+        if (!records.empty())
+            records.row(cells);
     };
-    out.addRow(row("How many rows?",
-                   [](const HardwareProfile &p) { return p.rows; }));
-    out.addRow(row("Contents of a row",
-                   [](const HardwareProfile &p) {
-                       return p.rowContents;
-                   }));
-    out.addRow(row("Where is the table?",
-                   [](const HardwareProfile &p) {
-                       return p.tableLocation;
-                   }));
-    out.addRow(row("Indexed by",
-                   [](const HardwareProfile &p) { return p.indexedBy; }));
-    out.addRow(row("Memory ops per miss (excl. prefetch)",
-                   [](const HardwareProfile &p) {
-                       return std::to_string(p.memOpsPerMiss);
-                   }));
-    out.addRow(row("Prefetches per miss",
-                   [](const HardwareProfile &p) {
-                       return p.maxPrefetches;
-                   }));
-    out.print();
+    row("How many rows?",
+        [](const HardwareProfile &p) { return p.rows; });
+    row("Contents of a row",
+        [](const HardwareProfile &p) { return p.rowContents; });
+    row("Where is the table?",
+        [](const HardwareProfile &p) { return p.tableLocation; });
+    row("Indexed by",
+        [](const HardwareProfile &p) { return p.indexedBy; });
+    row("Memory ops per miss (excl. prefetch)",
+        [](const HardwareProfile &p) {
+            return std::to_string(p.memOpsPerMiss);
+        });
+    row("Prefetches per miss",
+        [](const HardwareProfile &p) { return p.maxPrefetches; });
+    out.finish();
+    records.finish();
 
     // Quantify RP's in-memory cost and DP's on-chip cost on a real
     // model: RP grows the page table by two words per PTE; DP needs a
     // few hundred bytes of on-chip table.
     PrefetcherSpec rp_spec;
     rp_spec.scheme = Scheme::RP;
-    SimResult run = runFunctional("mcf", rp_spec, options.refs);
+    std::vector<SweepJob> jobs = {
+        SweepJob::functional("mcf", rp_spec, options.refs)};
+    SimResult run = runBatch(options, jobs)[0].functional;
     std::printf("\nRP page-table overhead on mcf (%llu pages touched): "
                 "%llu bytes in memory\n",
                 static_cast<unsigned long long>(run.footprintPages),

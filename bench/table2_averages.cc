@@ -9,7 +9,12 @@
  * 0.11; weighted RP 0.86 > DP 0.82 > ASP 0.73 >> MP 0.04.  The
  * reproduction targets the *orderings*, not the absolute numbers.
  *
- * Usage: table2_averages [--refs N] [--csv out.csv]
+ * The 56 × 4 grid runs as one SweepEngine batch; averages are folded
+ * from the ordered results, so every thread count prints identical
+ * numbers and writes identical --csv/--json bytes.
+ *
+ * Usage: table2_averages [--refs N] [--threads N] [--csv out.csv]
+ *                        [--json out.json]
  */
 
 #include <cstdio>
@@ -28,23 +33,30 @@ main(int argc, char **argv)
     std::printf("=== Table 2: average prediction accuracy over the 56 "
                 "applications (s=2, r=256) ===\n");
 
+    const std::vector<AppModel> &apps = appRegistry();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * specs.size());
+    for (const AppModel &app : apps)
+        for (const PrefetcherSpec &spec : specs)
+            jobs.push_back(SweepJob::functional(app.name, spec,
+                                                options.refs));
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "miss_rate", "DP", "RP", "ASP", "MP"});
+
     double sum[4] = {};
     double weighted_sum[4] = {};
     double weight_total = 0.0;
     std::size_t n = 0;
 
-    std::unique_ptr<CsvWriter> csv;
-    if (!options.csvPath.empty()) {
-        csv = std::make_unique<CsvWriter>(options.csvPath);
-        csv->writeRow({"app", "miss_rate", "DP", "RP", "ASP", "MP"});
-    }
-
-    for (const AppModel &app : appRegistry()) {
+    std::size_t cell = 0;
+    for (const AppModel &app : apps) {
         double acc[4] = {};
         double miss_rate = 0.0;
         for (std::size_t i = 0; i < specs.size(); ++i) {
-            SimResult r = runFunctional(app.name, specs[i],
-                                        options.refs);
+            const SweepResult &r = results[cell++];
             acc[i] = r.accuracy();
             miss_rate = r.missRate();
         }
@@ -54,26 +66,25 @@ main(int argc, char **argv)
         }
         weight_total += miss_rate;
         ++n;
-        if (csv)
-            csv->writeRow({app.name, TablePrinter::num(miss_rate, 6),
-                           TablePrinter::num(acc[0], 6),
-                           TablePrinter::num(acc[1], 6),
-                           TablePrinter::num(acc[2], 6),
-                           TablePrinter::num(acc[3], 6)});
-        std::fflush(stdout);
+        if (!records.empty())
+            records.row({app.name, TablePrinter::num(miss_rate, 6),
+                         TablePrinter::num(acc[0], 6),
+                         TablePrinter::num(acc[1], 6),
+                         TablePrinter::num(acc[2], 6),
+                         TablePrinter::num(acc[3], 6)});
     }
+    records.finish();
 
-    TablePrinter out({"Scheme", "Average (sum p_i / n)",
-                      "Weighted (sum m_i*p_i / sum m_i)"});
+    TableSink out;
+    out.header({"Scheme", "Average (sum p_i / n)",
+                "Weighted (sum m_i*p_i / sum m_i)"});
     const char *names[] = {"DP", "RP", "ASP", "MP"};
     for (int i = 0; i < 4; ++i) {
-        out.addRow({names[i],
-                    TablePrinter::num(sum[i] / static_cast<double>(n),
-                                      3),
-                    TablePrinter::num(weighted_sum[i] / weight_total,
-                                      3)});
+        out.row({names[i],
+                 TablePrinter::num(sum[i] / static_cast<double>(n), 3),
+                 TablePrinter::num(weighted_sum[i] / weight_total, 3)});
     }
-    out.print();
+    out.finish();
     std::printf("(paper: avg DP .43 RP .29 ASP .28 MP .11; weighted "
                 "RP .86 DP .82 ASP .73 MP .04)\n");
     return 0;

@@ -13,7 +13,11 @@
  * Paper reference: ammp 0.97/0.86, mcf 1.09/0.95, vpr 0.99/0.98,
  * twolf 0.98/0.98, lucas 1.00/0.99 (RP/DP).
  *
- * Usage: table3_cycles [--refs N] [--csv out.csv]
+ * The 5 apps × 3 mechanisms (baseline, RP, DP) timing cells run as
+ * one SweepEngine batch on --threads workers.
+ *
+ * Usage: table3_cycles [--refs N] [--threads N] [--csv out.csv]
+ *                      [--json out.json]
  */
 
 #include <cstdio>
@@ -41,41 +45,49 @@ main(int argc, char **argv)
                 "(s=2, r=256, refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    TablePrinter out({"app", "RP", "DP", "RP acc", "DP acc",
-                      "RP memops", "DP memops"});
-    std::unique_ptr<CsvWriter> csv;
-    if (!options.csvPath.empty()) {
-        csv = std::make_unique<CsvWriter>(options.csvPath);
-        csv->writeRow({"app", "rp_norm", "dp_norm", "rp_acc", "dp_acc",
-                       "rp_memops", "dp_memops"});
-    }
+    // Per app, in slot order: baseline / RP / DP timing cells.
+    const std::vector<std::string> &apps = table3Apps();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(apps.size() * 3);
+    for (const std::string &app : apps)
+        for (const PrefetcherSpec &spec : {none, rp, dp})
+            jobs.push_back(SweepJob::timed(app, spec, options.refs));
+    std::vector<SweepResult> results = runBatch(options, jobs);
 
-    for (const std::string &app : table3Apps()) {
-        TimingResult base = runTimed(app, none, options.refs);
-        TimingResult with_rp = runTimed(app, rp, options.refs);
-        TimingResult with_dp = runTimed(app, dp, options.refs);
+    TableSink out;
+    out.header({"app", "RP", "DP", "RP acc", "DP acc", "RP memops",
+                "DP memops"});
+    MultiSink records = recordSinks(options);
+    if (!records.empty())
+        records.header({"app", "rp_norm", "dp_norm", "rp_acc",
+                        "dp_acc", "rp_memops", "dp_memops"});
+
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const TimingResult &base = results[a * 3 + 0].timed;
+        const TimingResult &with_rp = results[a * 3 + 1].timed;
+        const TimingResult &with_dp = results[a * 3 + 2].timed;
         double rp_norm = static_cast<double>(with_rp.cycles) /
                          static_cast<double>(base.cycles);
         double dp_norm = static_cast<double>(with_dp.cycles) /
                          static_cast<double>(base.cycles);
-        out.addRow({app, TablePrinter::num(rp_norm, 2),
-                    TablePrinter::num(dp_norm, 2),
-                    TablePrinter::num(with_rp.functional.accuracy(), 3),
-                    TablePrinter::num(with_dp.functional.accuracy(), 3),
-                    TablePrinter::num(with_rp.memoryOps),
-                    TablePrinter::num(with_dp.memoryOps)});
-        if (csv)
-            csv->writeRow({app, TablePrinter::num(rp_norm, 6),
-                           TablePrinter::num(dp_norm, 6),
-                           TablePrinter::num(
-                               with_rp.functional.accuracy(), 6),
-                           TablePrinter::num(
-                               with_dp.functional.accuracy(), 6),
-                           TablePrinter::num(with_rp.memoryOps),
-                           TablePrinter::num(with_dp.memoryOps)});
-        std::fflush(stdout);
+        out.row({apps[a], TablePrinter::num(rp_norm, 2),
+                 TablePrinter::num(dp_norm, 2),
+                 TablePrinter::num(with_rp.functional.accuracy(), 3),
+                 TablePrinter::num(with_dp.functional.accuracy(), 3),
+                 TablePrinter::num(with_rp.memoryOps),
+                 TablePrinter::num(with_dp.memoryOps)});
+        if (!records.empty())
+            records.row({apps[a], TablePrinter::num(rp_norm, 6),
+                         TablePrinter::num(dp_norm, 6),
+                         TablePrinter::num(
+                             with_rp.functional.accuracy(), 6),
+                         TablePrinter::num(
+                             with_dp.functional.accuracy(), 6),
+                         TablePrinter::num(with_rp.memoryOps),
+                         TablePrinter::num(with_dp.memoryOps)});
     }
-    out.print();
+    out.finish();
+    records.finish();
     std::printf("(paper: ammp .97/.86  mcf 1.09/.95  vpr .99/.98  "
                 "twolf .98/.98  lucas 1.00/.99)\n");
     return 0;

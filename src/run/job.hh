@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The unit of work of the sweep engine: one simulation cell.
+ *
+ * Every figure and table in the paper is a sweep over
+ * (application × mechanism × geometry) cells.  A SweepJob captures
+ * one such cell as a plain value — application model name, prefetcher
+ * spec, reference budget, simulator geometry, and whether the cell
+ * runs under the functional or the timing model — so a whole figure
+ * is just a std::vector<SweepJob> that can be executed in any order
+ * on any number of threads.  Each job builds its own stream and
+ * simulator state when it runs; nothing is shared mutably between
+ * cells.
+ */
+
+#ifndef TLBPF_RUN_JOB_HH
+#define TLBPF_RUN_JOB_HH
+
+#include <string>
+
+#include "prefetch/factory.hh"
+#include "sim/functional_sim.hh"
+#include "sim/timing_sim.hh"
+
+namespace tlbpf
+{
+
+/** Which simulator a cell runs under. */
+enum class JobMode
+{
+    Functional, ///< fast sim: accuracy/miss-rate counters only
+    Timed       ///< cycle model: additionally TimingResult counters
+};
+
+/** One simulation cell, ready to execute on any thread. */
+struct SweepJob
+{
+    std::string app;          ///< app-registry model name
+    PrefetcherSpec spec;      ///< mechanism + geometry
+    std::uint64_t refs = 0;   ///< reference budget (must be > 0)
+    SimConfig config{};       ///< TLB/buffer geometry, ablation flags
+    TimingConfig timing{};    ///< cycle model (Timed mode only)
+    JobMode mode = JobMode::Functional;
+
+    /** Functional-mode cell. */
+    static SweepJob
+    functional(std::string app, const PrefetcherSpec &spec,
+               std::uint64_t refs, const SimConfig &config = SimConfig{})
+    {
+        SweepJob job;
+        job.app = std::move(app);
+        job.spec = spec;
+        job.refs = refs;
+        job.config = config;
+        job.mode = JobMode::Functional;
+        return job;
+    }
+
+    /** Timing-mode cell. */
+    static SweepJob
+    timed(std::string app, const PrefetcherSpec &spec,
+          std::uint64_t refs, const SimConfig &config = SimConfig{},
+          const TimingConfig &timing = TimingConfig{})
+    {
+        SweepJob job;
+        job.app = std::move(app);
+        job.spec = spec;
+        job.refs = refs;
+        job.config = config;
+        job.timing = timing;
+        job.mode = JobMode::Timed;
+        return job;
+    }
+};
+
+/** Outcome of one cell, in the submission slot of its job. */
+struct SweepResult
+{
+    JobMode mode = JobMode::Functional;
+    SimResult functional; ///< valid in both modes
+    TimingResult timed;   ///< valid only when mode == Timed
+
+    double accuracy() const { return functional.accuracy(); }
+    double missRate() const { return functional.missRate(); }
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_RUN_JOB_HH

@@ -1,0 +1,266 @@
+#include "run/result_sink.hh"
+
+#include <cstdio>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace tlbpf
+{
+
+// --- TableSink -------------------------------------------------------
+
+TableSink::TableSink(std::string caption)
+    : _caption(std::move(caption))
+{
+}
+
+TableSink::~TableSink()
+{
+    finish();
+}
+
+void
+TableSink::header(const std::vector<std::string> &cells)
+{
+    tlbpf_assert(!_table, "TableSink header set twice");
+    _table = std::make_unique<TablePrinter>(cells);
+    if (!_caption.empty())
+        _table->caption(_caption);
+}
+
+void
+TableSink::row(const std::vector<std::string> &cells)
+{
+    tlbpf_assert(_table, "TableSink row before header");
+    _table->addRow(cells);
+}
+
+void
+TableSink::finish()
+{
+    if (_finished || !_table)
+        return;
+    _finished = true;
+    _table->print();
+    std::fflush(stdout);
+}
+
+// --- CsvSink ---------------------------------------------------------
+
+CsvSink::CsvSink(const std::string &path)
+    : _file(path), _out(&_file)
+{
+    if (!_file)
+        tlbpf_fatal("cannot open CSV output file '", path, "'");
+}
+
+CsvSink::CsvSink(std::ostream &os)
+    : _out(&os)
+{
+}
+
+CsvSink::~CsvSink()
+{
+    finish();
+}
+
+void
+CsvSink::header(const std::vector<std::string> &cells)
+{
+    row(cells);
+}
+
+void
+CsvSink::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            *_out << ',';
+        *_out << CsvWriter::quote(cells[i]);
+    }
+    *_out << '\n';
+}
+
+void
+CsvSink::finish()
+{
+    _out->flush();
+}
+
+// --- JsonSink --------------------------------------------------------
+
+JsonSink::JsonSink(const std::string &path)
+    : _file(path), _out(&_file)
+{
+    if (!_file)
+        tlbpf_fatal("cannot open JSON output file '", path, "'");
+}
+
+JsonSink::JsonSink(std::ostream &os)
+    : _out(&os)
+{
+}
+
+JsonSink::~JsonSink()
+{
+    finish();
+}
+
+std::string
+JsonSink::quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char ch : s) {
+        switch (ch) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Exact RFC 8259 number grammar:
+ *   -? (0 | [1-9][0-9]*) ('.' [0-9]+)? ([eE] [+-]? [0-9]+)?
+ * Strtod is deliberately not used: it also accepts hex, inf/nan
+ * (signed or not), leading zeros and trailing dots, all of which
+ * JSON forbids.
+ */
+bool
+isJsonNumber(const std::string &s)
+{
+    std::size_t i = 0;
+    auto digits = [&] {
+        std::size_t start = i;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+            ++i;
+        return i > start;
+    };
+    if (i < s.size() && s[i] == '-')
+        ++i;
+    if (i >= s.size())
+        return false;
+    if (s[i] == '0') {
+        ++i;
+    } else if (s[i] >= '1' && s[i] <= '9') {
+        digits();
+    } else {
+        return false;
+    }
+    if (i < s.size() && s[i] == '.') {
+        ++i;
+        if (!digits())
+            return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+        ++i;
+        if (i < s.size() && (s[i] == '+' || s[i] == '-'))
+            ++i;
+        if (!digits())
+            return false;
+    }
+    return i == s.size();
+}
+
+} // namespace
+
+std::string
+JsonSink::cellValue(const std::string &cell)
+{
+    return isJsonNumber(cell) ? cell : quote(cell);
+}
+
+void
+JsonSink::header(const std::vector<std::string> &cells)
+{
+    tlbpf_assert(_keys.empty(), "JsonSink header set twice");
+    tlbpf_assert(!cells.empty(), "JsonSink needs at least one column");
+    _keys = cells;
+    *_out << "[";
+}
+
+void
+JsonSink::row(const std::vector<std::string> &cells)
+{
+    tlbpf_assert(cells.size() == _keys.size(),
+                 "JSON row arity ", cells.size(), " != header arity ",
+                 _keys.size());
+    if (!_firstRow)
+        *_out << ',';
+    _firstRow = false;
+    *_out << "\n  {";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            *_out << ", ";
+        *_out << quote(_keys[i]) << ": " << cellValue(cells[i]);
+    }
+    *_out << "}";
+}
+
+void
+JsonSink::finish()
+{
+    if (_finished)
+        return;
+    _finished = true;
+    if (!_keys.empty())
+        *_out << "\n]\n";
+    _out->flush();
+}
+
+// --- MultiSink -------------------------------------------------------
+
+void
+MultiSink::add(std::unique_ptr<ResultSink> sink)
+{
+    _sinks.push_back(std::move(sink));
+}
+
+void
+MultiSink::header(const std::vector<std::string> &cells)
+{
+    for (auto &sink : _sinks)
+        sink->header(cells);
+}
+
+void
+MultiSink::row(const std::vector<std::string> &cells)
+{
+    for (auto &sink : _sinks)
+        sink->row(cells);
+}
+
+void
+MultiSink::finish()
+{
+    for (auto &sink : _sinks)
+        sink->finish();
+}
+
+} // namespace tlbpf

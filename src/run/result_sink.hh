@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unified rendering of sweep results: one header + rows of cells fed
+ * to any combination of an ASCII table, a CSV file and a JSON file.
+ *
+ * The bench binaries used to carry their own TablePrinter + CsvWriter
+ * plumbing, each re-stating the header and the row loop once per
+ * format.  A ResultSink receives the header once and each row once;
+ * concrete sinks decide how to persist it.  Rows must be emitted in
+ * the final (submission) order — the sinks are sequential renderers,
+ * not thread-safe collectors; render *after* the engine returns its
+ * ordered results.
+ */
+
+#ifndef TLBPF_RUN_RESULT_SINK_HH
+#define TLBPF_RUN_RESULT_SINK_HH
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/table_printer.hh"
+
+namespace tlbpf
+{
+
+/** Receives one header and then rows, all in final order. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** Set the column names; call exactly once, before any row. */
+    virtual void header(const std::vector<std::string> &cells) = 0;
+
+    /** Emit one row; arity must match the header. */
+    virtual void row(const std::vector<std::string> &cells) = 0;
+
+    /** Flush/close/print.  Called once; also invoked by destructors. */
+    virtual void finish() = 0;
+};
+
+/** Renders to stdout as a paper-style aligned table. */
+class TableSink : public ResultSink
+{
+  public:
+    explicit TableSink(std::string caption = "");
+    ~TableSink() override;
+
+    void header(const std::vector<std::string> &cells) override;
+    void row(const std::vector<std::string> &cells) override;
+    void finish() override;
+
+  private:
+    std::string _caption;
+    std::unique_ptr<TablePrinter> _table;
+    bool _finished = false;
+};
+
+/** Streams RFC-4180 CSV to a file (or a caller-owned stream). */
+class CsvSink : public ResultSink
+{
+  public:
+    /** Opens @p path for writing; fatal on failure. */
+    explicit CsvSink(const std::string &path);
+
+    /** Writes to @p os, which the caller keeps alive (tests). */
+    explicit CsvSink(std::ostream &os);
+
+    ~CsvSink() override;
+
+    void header(const std::vector<std::string> &cells) override;
+    void row(const std::vector<std::string> &cells) override;
+    void finish() override;
+
+  private:
+    std::ofstream _file;
+    std::ostream *_out;
+};
+
+/**
+ * Streams a JSON array of row objects keyed by the header.  Cells
+ * that parse fully as numbers are emitted as JSON numbers, everything
+ * else as strings, so downstream tooling gets typed values without
+ * the sink needing a schema.
+ */
+class JsonSink : public ResultSink
+{
+  public:
+    /** Opens @p path for writing; fatal on failure. */
+    explicit JsonSink(const std::string &path);
+
+    /** Writes to @p os, which the caller keeps alive (tests). */
+    explicit JsonSink(std::ostream &os);
+
+    ~JsonSink() override;
+
+    void header(const std::vector<std::string> &cells) override;
+    void row(const std::vector<std::string> &cells) override;
+    void finish() override;
+
+    /** Quote + escape per RFC 8259. */
+    static std::string quote(const std::string &s);
+
+    /** Raw JSON for one cell: number if it parses as one, else string. */
+    static std::string cellValue(const std::string &cell);
+
+  private:
+    std::ofstream _file;
+    std::ostream *_out;
+    std::vector<std::string> _keys;
+    bool _firstRow = true;
+    bool _finished = false;
+};
+
+/** Fans header/row/finish out to any number of sinks. */
+class MultiSink : public ResultSink
+{
+  public:
+    void add(std::unique_ptr<ResultSink> sink);
+
+    bool empty() const { return _sinks.empty(); }
+
+    void header(const std::vector<std::string> &cells) override;
+    void row(const std::vector<std::string> &cells) override;
+    void finish() override;
+
+  private:
+    std::vector<std::unique_ptr<ResultSink>> _sinks;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_RUN_RESULT_SINK_HH

@@ -1,0 +1,45 @@
+#include "run/sweep_engine.hh"
+
+#include <stdexcept>
+
+#include "workload/app_registry.hh"
+
+namespace tlbpf
+{
+
+SweepResult
+runSweepJob(const SweepJob &job)
+{
+    if (job.refs == 0)
+        throw std::invalid_argument(
+            "sweep job for '" + job.app +
+            "' needs a positive reference budget");
+    const AppModel *app = findAppOrNull(job.app);
+    if (!app)
+        throw std::invalid_argument("unknown application model '" +
+                                    job.app + "'");
+
+    SweepResult result;
+    result.mode = job.mode;
+    auto stream = buildApp(*app, job.refs);
+    if (job.mode == JobMode::Timed) {
+        result.timed =
+            simulateTimed(job.config, job.timing, job.spec, *stream);
+        result.functional = result.timed.functional;
+    } else {
+        result.functional = simulate(job.config, job.spec, *stream);
+    }
+    return result;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs)
+{
+    std::vector<SweepResult> results(jobs.size());
+    _pool.parallelFor(jobs.size(), [&](std::size_t i) {
+        results[i] = runSweepJob(jobs[i]);
+    });
+    return results;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic multi-threaded executor for batches of SweepJobs.
+ *
+ * The engine's contract: results come back in *submission order* and
+ * are bit-identical to a serial run regardless of thread count.  That
+ * holds because every job owns its entire simulation state (stream,
+ * TLB, buffer, prefetcher, RNG) and writes only to its own result
+ * slot; threads share nothing mutable.  `--threads 1` constructs a
+ * pool with no workers, so the serial path is literally the old
+ * serial loop.
+ *
+ * A job that cannot run (zero reference budget, unknown application
+ * model) throws std::invalid_argument; the engine propagates the
+ * lowest-submission-index exception to the caller of run() after the
+ * batch drains.
+ */
+
+#ifndef TLBPF_RUN_SWEEP_ENGINE_HH
+#define TLBPF_RUN_SWEEP_ENGINE_HH
+
+#include <vector>
+
+#include "run/job.hh"
+#include "util/thread_pool.hh"
+
+namespace tlbpf
+{
+
+/**
+ * Execute one cell on the calling thread.  Throws
+ * std::invalid_argument if the job is malformed (refs == 0 or an app
+ * name the registry does not know) — unlike the bench entry points,
+ * which tlbpf_fatal, so that the engine can report a failing cell
+ * without tearing down the process from a worker thread.
+ */
+SweepResult runSweepJob(const SweepJob &job);
+
+/** Multi-threaded batch runner with ordered, deterministic results. */
+class SweepEngine
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit SweepEngine(unsigned threads = 0) : _pool(threads) {}
+
+    unsigned threads() const { return _pool.threadCount(); }
+
+    /**
+     * Run every job and return results in submission order.  Blocks
+     * until the batch drains; rethrows the lowest-index job failure.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /** The underlying pool, for callers with custom cell loops. */
+    ThreadPool &pool() { return _pool; }
+
+  private:
+    ThreadPool _pool;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_RUN_SWEEP_ENGINE_HH

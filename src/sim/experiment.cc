@@ -1,5 +1,10 @@
 #include "sim/experiment.hh"
 
+#include <stdexcept>
+
+#include "run/sweep_engine.hh"
+#include "util/logging.hh"
+
 namespace tlbpf
 {
 
@@ -56,12 +61,32 @@ table2Specs()
     return specs;
 }
 
+namespace
+{
+
+/**
+ * Run one cell on the calling thread, converting the engine's
+ * std::invalid_argument (refs == 0, unknown app) back into the
+ * fatal exit these entry points have always documented.
+ */
+SweepResult
+runCellOrDie(const SweepJob &job)
+{
+    try {
+        return runSweepJob(job);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
+}
+
+} // namespace
+
 SimResult
 runFunctional(const std::string &app, const PrefetcherSpec &spec,
               std::uint64_t refs, const SimConfig &config)
 {
-    auto stream = buildApp(app, refs);
-    return simulate(config, spec, *stream);
+    return runCellOrDie(SweepJob::functional(app, spec, refs, config))
+        .functional;
 }
 
 TimingResult
@@ -69,22 +94,31 @@ runTimed(const std::string &app, const PrefetcherSpec &spec,
          std::uint64_t refs, const SimConfig &config,
          const TimingConfig &timing)
 {
-    auto stream = buildApp(app, refs);
-    return simulateTimed(config, timing, spec, *stream);
+    return runCellOrDie(
+               SweepJob::timed(app, spec, refs, config, timing))
+        .timed;
 }
 
 std::vector<AccuracyCell>
 accuracySweep(const std::string &app,
               const std::vector<PrefetcherSpec> &specs,
-              std::uint64_t refs, const SimConfig &config)
+              std::uint64_t refs, const SimConfig &config,
+              unsigned threads)
 {
+    std::vector<SweepJob> jobs;
+    jobs.reserve(specs.size());
+    for (const PrefetcherSpec &spec : specs)
+        jobs.push_back(SweepJob::functional(app, spec, refs, config));
+
+    SweepEngine engine(threads);
+    std::vector<SweepResult> results = engine.run(jobs);
+
     std::vector<AccuracyCell> cells;
-    cells.reserve(specs.size());
-    for (const PrefetcherSpec &spec : specs) {
-        SimResult result = runFunctional(app, spec, refs, config);
-        cells.push_back(AccuracyCell{spec.label(), result.accuracy(),
-                                     result.missRate()});
-    }
+    cells.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        cells.push_back(AccuracyCell{jobs[i].spec.label(),
+                                     results[i].accuracy(),
+                                     results[i].missRate()});
     return cells;
 }
 

@@ -51,12 +51,18 @@ struct AccuracyCell
     double missRate = 0.0;
 };
 
-/** Evaluate @p specs against one app; cells in spec order. */
+/**
+ * Evaluate @p specs against one app; cells in spec order.  With
+ * @p threads > 1 the cells run on a SweepEngine; the output is
+ * bit-identical to the serial run (threads == 1) by the engine's
+ * determinism contract.  threads == 0 selects hardware concurrency.
+ */
 std::vector<AccuracyCell>
 accuracySweep(const std::string &app,
               const std::vector<PrefetcherSpec> &specs,
               std::uint64_t refs,
-              const SimConfig &config = SimConfig{});
+              const SimConfig &config = SimConfig{},
+              unsigned threads = 1);
 
 } // namespace tlbpf
 

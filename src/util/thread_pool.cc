@@ -1,0 +1,124 @@
+#include "util/thread_pool.hh"
+
+namespace tlbpf
+{
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : _threads(threads ? threads : defaultThreadCount())
+{
+    _workers.reserve(_threads - 1);
+    for (unsigned i = 1; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::runIndices(const std::function<void(std::size_t)> &fn)
+{
+    for (;;) {
+        std::size_t i = _cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= _batchSize)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            // Slot i is this invocation's alone; no lock needed.
+            _errors[i] = std::current_exception();
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wake.wait(lock, [&] {
+                return _stopping || _generation != seen;
+            });
+            if (_stopping)
+                return;
+            seen = _generation;
+            fn = _batchFn;
+        }
+        runIndices(*fn);
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (--_active == 0)
+                _done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::rethrowFirstError()
+{
+    for (std::exception_ptr &error : _errors) {
+        if (error) {
+            std::exception_ptr first = error;
+            _errors.clear();
+            std::rethrow_exception(first);
+        }
+    }
+    _errors.clear();
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    _errors.assign(n, nullptr);
+
+    if (_workers.empty()) {
+        // Serial pool: run inline, no synchronisation at all.
+        _batchSize = n;
+        _cursor.store(0, std::memory_order_relaxed);
+        runIndices(fn);
+        rethrowFirstError();
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _batchSize = n;
+        _batchFn = &fn;
+        _cursor.store(0, std::memory_order_relaxed);
+        _active = static_cast<unsigned>(_workers.size());
+        ++_generation;
+    }
+    _wake.notify_all();
+
+    // The calling thread pulls indices alongside the workers.
+    runIndices(fn);
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _done.wait(lock, [&] { return _active == 0; });
+        _batchFn = nullptr;
+    }
+    rethrowFirstError();
+}
+
+} // namespace tlbpf

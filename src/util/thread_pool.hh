@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A small fixed-size worker pool for deterministic fan-out.
+ *
+ * The pool exposes one primitive, parallelFor(n, fn): invoke fn(i)
+ * for every index in [0, n), spread across the pool's threads, and
+ * block until all indices are done.  Work is handed out through an
+ * atomic cursor, so threads never contend on a lock in the steady
+ * state; determinism is the *caller's* contract — fn must write only
+ * to per-index state (e.g. slot i of a pre-sized results vector) so
+ * that the outcome is identical for any thread count, including 1.
+ *
+ * Exceptions thrown by fn are captured per index and the one with the
+ * lowest index is rethrown on the calling thread after the batch
+ * drains, which keeps error reporting deterministic too.
+ */
+
+#ifndef TLBPF_UTIL_THREAD_POOL_HH
+#define TLBPF_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** Fixed-size pool of worker threads with a parallel-for primitive. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total concurrency including the calling thread;
+     *                0 selects defaultThreadCount().  A pool of size
+     *                1 spawns no workers at all and parallelFor runs
+     *                inline, byte-for-byte the serial loop.
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Concurrency (calling thread + workers). */
+    unsigned threadCount() const { return _threads; }
+
+    /**
+     * Run fn(0) .. fn(n-1) across the pool and block until all have
+     * returned.  The calling thread participates.  If any invocation
+     * throws, the remaining indices still run and the lowest-index
+     * exception is rethrown here.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** std::thread::hardware_concurrency(), clamped to at least 1. */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+    void runIndices(const std::function<void(std::size_t)> &fn);
+    void rethrowFirstError();
+
+    unsigned _threads;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _wake; ///< workers wait for a batch
+    std::condition_variable _done; ///< caller waits for the drain
+
+    // State of the in-flight batch, guarded by _mutex except where
+    // noted.  _generation bumps once per batch so sleeping workers
+    // can tell a new batch from a spurious wakeup.
+    std::uint64_t _generation = 0;
+    bool _stopping = false;
+    std::size_t _batchSize = 0;
+    const std::function<void(std::size_t)> *_batchFn = nullptr;
+    std::atomic<std::size_t> _cursor{0};
+    unsigned _active = 0; ///< workers still inside the current batch
+    std::vector<std::exception_ptr> _errors;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_THREAD_POOL_HH

@@ -26,10 +26,18 @@ appRegistry()
 const AppModel &
 findApp(const std::string &name)
 {
+    if (const AppModel *app = findAppOrNull(name))
+        return *app;
+    tlbpf_fatal("unknown application model '", name, "'");
+}
+
+const AppModel *
+findAppOrNull(const std::string &name)
+{
     for (const AppModel &app : appRegistry())
         if (app.name == name)
-            return app;
-    tlbpf_fatal("unknown application model '", name, "'");
+            return &app;
+    return nullptr;
 }
 
 std::vector<const AppModel *>

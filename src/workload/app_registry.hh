@@ -53,6 +53,9 @@ const std::vector<AppModel> &appRegistry();
 /** Find a model by name (fatal if unknown). */
 const AppModel &findApp(const std::string &name);
 
+/** Find a model by name; nullptr if unknown (for throwing callers). */
+const AppModel *findAppOrNull(const std::string &name);
+
 /** Models belonging to @p suite, in registry order. */
 std::vector<const AppModel *> appsInSuite(const std::string &suite);
 

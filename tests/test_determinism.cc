@@ -2,15 +2,20 @@
  * @file
  * Determinism guard: with a fixed workload seed, the functional and
  * timing simulators must produce bit-identical statistics across
- * repeated runs.  Future parallelism/sharding work must keep this
- * suite green.
+ * repeated runs — and, since the sweep engine landed, across any
+ * thread count: a mixed functional/timing batch must yield identical
+ * counters and identical CSV bytes at 1, 4 and 8 threads.
  */
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
+#include "run/result_sink.hh"
+#include "run/sweep_engine.hh"
 #include "sim/experiment.hh"
+#include "util/table_printer.hh"
 #include "workload/app_registry.hh"
 
 namespace tlbpf
@@ -84,6 +89,106 @@ TEST(Determinism, TimedRunsAreBitIdentical)
     TimingResult first = runTimed("gcc", spec, kRefs);
     TimingResult second = runTimed("gcc", spec, kRefs);
     EXPECT_EQ(counters(first), counters(second));
+}
+
+/**
+ * A mixed functional/timing batch covering every mechanism class,
+ * several geometries and an ablation flag — the shape of a real
+ * figure regeneration.
+ */
+std::vector<SweepJob>
+mixedJobBatch()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"gcc", "mcf", "galgel"})
+        for (const PrefetcherSpec &spec : table2Specs())
+            jobs.push_back(SweepJob::functional(app, spec, kRefs));
+
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    SimConfig flushing;
+    flushing.contextSwitchInterval = 10000;
+    jobs.push_back(SweepJob::functional("swim", dp, kRefs, flushing));
+
+    for (Scheme scheme : {Scheme::None, Scheme::RP, Scheme::DP}) {
+        PrefetcherSpec spec;
+        spec.scheme = scheme;
+        spec.table = TableConfig{256, TableAssoc::Direct};
+        jobs.push_back(SweepJob::timed("ammp", spec, kRefs));
+    }
+    return jobs;
+}
+
+/** All counters of a SweepResult, both modes. */
+std::vector<std::uint64_t>
+counters(const SweepResult &r)
+{
+    std::vector<std::uint64_t> all = counters(r.functional);
+    if (r.mode == JobMode::Timed) {
+        std::vector<std::uint64_t> timed = counters(r.timed);
+        all.insert(all.end(), timed.begin(), timed.end());
+    }
+    return all;
+}
+
+/** Render a batch's results as CSV bytes, the way the benches do. */
+std::string
+csvBytes(const std::vector<SweepJob> &jobs,
+         const std::vector<SweepResult> &results)
+{
+    std::ostringstream os;
+    CsvSink csv(os);
+    csv.header({"app", "mechanism", "accuracy", "miss_rate",
+                "cycles"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        csv.row({jobs[i].app, jobs[i].spec.label(),
+                 TablePrinter::num(results[i].accuracy(), 6),
+                 TablePrinter::num(results[i].missRate(), 6),
+                 TablePrinter::num(static_cast<std::uint64_t>(
+                     results[i].mode == JobMode::Timed
+                         ? results[i].timed.cycles
+                         : 0))});
+    }
+    csv.finish();
+    return os.str();
+}
+
+TEST(ParallelDeterminism, ThreadCountDoesNotChangeStats)
+{
+    std::vector<SweepJob> jobs = mixedJobBatch();
+    std::vector<SweepResult> serial = SweepEngine(1).run(jobs);
+    ASSERT_EQ(serial.size(), jobs.size());
+    for (unsigned threads : {4u, 8u}) {
+        std::vector<SweepResult> parallel =
+            SweepEngine(threads).run(jobs);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(counters(serial[i]), counters(parallel[i]))
+                << "cell " << i << " (" << jobs[i].app << " under "
+                << jobs[i].spec.label() << ") at " << threads
+                << " threads";
+    }
+}
+
+TEST(ParallelDeterminism, ThreadCountDoesNotChangeCsvBytes)
+{
+    std::vector<SweepJob> jobs = mixedJobBatch();
+    std::string serial = csvBytes(jobs, SweepEngine(1).run(jobs));
+    EXPECT_FALSE(serial.empty());
+    for (unsigned threads : {4u, 8u})
+        EXPECT_EQ(serial, csvBytes(jobs, SweepEngine(threads).run(jobs)))
+            << threads << " threads";
+}
+
+TEST(ParallelDeterminism, RepeatedParallelRunsAreBitIdentical)
+{
+    std::vector<SweepJob> jobs = mixedJobBatch();
+    SweepEngine engine(4);
+    std::vector<SweepResult> first = engine.run(jobs);
+    std::vector<SweepResult> second = engine.run(jobs);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(counters(first[i]), counters(second[i]))
+            << "cell " << i;
 }
 
 TEST(Determinism, RebuiltAppModelsReplayIdentically)

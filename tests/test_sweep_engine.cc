@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the parallel sweep engine and its thread pool:
+ * submission-order results, empty/single batches, exception
+ * propagation from failing jobs, and the ResultSink renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <stdexcept>
+
+#include "run/result_sink.hh"
+#include "run/sweep_engine.hh"
+#include "sim/experiment.hh"
+
+namespace tlbpf
+{
+namespace
+{
+
+constexpr std::uint64_t kRefs = 20000;
+
+std::vector<SweepJob>
+mixedBatch()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"gcc", "mcf", "swim"})
+        for (const PrefetcherSpec &spec : table2Specs())
+            jobs.push_back(SweepJob::functional(app, spec, kRefs));
+    PrefetcherSpec rp;
+    rp.scheme = Scheme::RP;
+    jobs.push_back(SweepJob::timed("ammp", rp, kRefs));
+    return jobs;
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 5; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(100, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum, 4950u) << "round " << round;
+    }
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        try {
+            pool.parallelFor(64, [&](std::size_t i) {
+                if (i % 7 == 3) // lowest failing index is 3
+                    throw std::runtime_error(
+                        "index " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "index 3");
+        }
+    }
+    // The pool survives a failed batch.
+    std::atomic<int> ran{0};
+    pool.parallelFor(8, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran, 8);
+}
+
+TEST(SweepEngine, EmptyBatch)
+{
+    SweepEngine engine(4);
+    EXPECT_TRUE(engine.run({}).empty());
+}
+
+TEST(SweepEngine, SingleJobMatchesDirectRun)
+{
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    SweepEngine engine(4);
+    std::vector<SweepResult> results =
+        engine.run({SweepJob::functional("gcc", dp, kRefs)});
+    ASSERT_EQ(results.size(), 1u);
+    SimResult direct = runFunctional("gcc", dp, kRefs);
+    EXPECT_EQ(results[0].functional.misses, direct.misses);
+    EXPECT_EQ(results[0].functional.pbHits, direct.pbHits);
+    EXPECT_EQ(results[0].mode, JobMode::Functional);
+}
+
+TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
+{
+    std::vector<SweepJob> jobs = mixedBatch();
+    SweepEngine engine(4);
+    std::vector<SweepResult> parallel = engine.run(jobs);
+    ASSERT_EQ(parallel.size(), jobs.size());
+    // Slot i must hold exactly job i's outcome: compare against each
+    // job run standalone.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SweepResult direct = runSweepJob(jobs[i]);
+        EXPECT_EQ(parallel[i].functional.misses,
+                  direct.functional.misses)
+            << "slot " << i;
+        EXPECT_EQ(parallel[i].functional.pbHits,
+                  direct.functional.pbHits)
+            << "slot " << i;
+        EXPECT_EQ(parallel[i].mode, jobs[i].mode) << "slot " << i;
+        if (jobs[i].mode == JobMode::Timed) {
+            EXPECT_EQ(parallel[i].timed.cycles, direct.timed.cycles)
+                << "slot " << i;
+        }
+    }
+}
+
+TEST(SweepEngine, ZeroRefJobThrowsFromWorker)
+{
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    std::vector<SweepJob> jobs = {
+        SweepJob::functional("gcc", dp, kRefs),
+        SweepJob::functional("mcf", dp, 0), // malformed
+        SweepJob::functional("swim", dp, kRefs),
+    };
+    SweepEngine engine(4);
+    EXPECT_THROW(engine.run(jobs), std::invalid_argument);
+}
+
+TEST(SweepEngine, UnknownAppThrowsFromWorker)
+{
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    SweepEngine engine(2);
+    EXPECT_THROW(
+        engine.run({SweepJob::functional("no-such-app", dp, kRefs)}),
+        std::invalid_argument);
+}
+
+TEST(ResultSink, CsvQuotingAndLayout)
+{
+    std::ostringstream os;
+    CsvSink csv(os);
+    csv.header({"app", "note"});
+    csv.row({"gcc", "plain"});
+    csv.row({"mcf", "has,comma"});
+    csv.finish();
+    EXPECT_EQ(os.str(),
+              "app,note\ngcc,plain\nmcf,\"has,comma\"\n");
+}
+
+TEST(ResultSink, JsonTypesNumbersAndStrings)
+{
+    std::ostringstream os;
+    JsonSink json(os);
+    json.header({"app", "accuracy", "n"});
+    json.row({"gcc", "0.500000", "42"});
+    json.row({"say \"hi\"", "-0.25", "1e3"});
+    json.finish();
+    EXPECT_EQ(os.str(),
+              "[\n"
+              "  {\"app\": \"gcc\", \"accuracy\": 0.500000, "
+              "\"n\": 42},\n"
+              "  {\"app\": \"say \\\"hi\\\"\", \"accuracy\": -0.25, "
+              "\"n\": 1e3}\n"
+              "]\n");
+}
+
+TEST(ResultSink, JsonRejectsNonJsonNumbers)
+{
+    EXPECT_EQ(JsonSink::cellValue("nan"), "\"nan\"");
+    EXPECT_EQ(JsonSink::cellValue("-nan"), "\"-nan\"");
+    EXPECT_EQ(JsonSink::cellValue("inf"), "\"inf\"");
+    EXPECT_EQ(JsonSink::cellValue("-infinity"), "\"-infinity\"");
+    EXPECT_EQ(JsonSink::cellValue("0x10"), "\"0x10\"");
+    EXPECT_EQ(JsonSink::cellValue("12abc"), "\"12abc\"");
+    EXPECT_EQ(JsonSink::cellValue("007"), "\"007\"");
+    EXPECT_EQ(JsonSink::cellValue("1."), "\"1.\"");
+    EXPECT_EQ(JsonSink::cellValue(".5"), "\".5\"");
+    EXPECT_EQ(JsonSink::cellValue("-"), "\"-\"");
+    EXPECT_EQ(JsonSink::cellValue("1e"), "\"1e\"");
+    EXPECT_EQ(JsonSink::cellValue(""), "\"\"");
+    EXPECT_EQ(JsonSink::cellValue("-3.5"), "-3.5");
+    EXPECT_EQ(JsonSink::cellValue("0.25"), "0.25");
+    EXPECT_EQ(JsonSink::cellValue("2e-3"), "2e-3");
+    EXPECT_EQ(JsonSink::cellValue("0"), "0");
+}
+
+TEST(ResultSink, MultiSinkFansOut)
+{
+    std::ostringstream csv_os;
+    std::ostringstream json_os;
+    MultiSink multi;
+    EXPECT_TRUE(multi.empty());
+    multi.add(std::make_unique<CsvSink>(csv_os));
+    multi.add(std::make_unique<JsonSink>(json_os));
+    EXPECT_FALSE(multi.empty());
+    multi.header({"k"});
+    multi.row({"v"});
+    multi.finish();
+    EXPECT_EQ(csv_os.str(), "k\nv\n");
+    EXPECT_NE(json_os.str().find("\"k\": \"v\""), std::string::npos);
+}
+
+TEST(Experiment, ParallelAccuracySweepMatchesSerial)
+{
+    std::vector<AccuracyCell> serial =
+        accuracySweep("galgel", table2Specs(), kRefs, SimConfig{}, 1);
+    std::vector<AccuracyCell> parallel =
+        accuracySweep("galgel", table2Specs(), kRefs, SimConfig{}, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].label, parallel[i].label);
+        EXPECT_EQ(serial[i].accuracy, parallel[i].accuracy);
+        EXPECT_EQ(serial[i].missRate, parallel[i].missRate);
+    }
+}
+
+} // namespace
+} // namespace tlbpf
