@@ -12,8 +12,14 @@
  *
  * The scheme × app × interval grid runs as one SweepEngine batch.
  *
- * Usage: ablation_context_switch [--refs N] [--threads N]
+ * A --workload list substitutes any spec for the default app set —
+ * in particular a mix: spec interleaves several address spaces at the
+ * mix quantum while the bench's contextSwitchInterval flushes the
+ * hardware state, exercising multiprogramming end to end.
+ *
+ * Usage: ablation_context_switch [--refs N] [--threads N] [--shards N]
  *                                [--csv out.csv] [--json out.json]
+ *                                [--workload spec,...]
  */
 
 #include <cstdio>
@@ -30,13 +36,14 @@ main(int argc, char **argv)
 
     const std::uint64_t intervals[] = {0, 500000, 100000, 20000};
     const Scheme schemes[] = {Scheme::DP, Scheme::RP, Scheme::MP};
-    const std::vector<std::string> &apps = highMissRateApps();
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, highMissRateApps());
 
     std::printf("=== Extension: context-switch flushing (refs/app = "
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // One batch over the full grid, scheme-major then app then
+    // One batch over the full grid, scheme-major then workload then
     // interval, mirroring the rendering order below.
     std::vector<SweepJob> jobs;
     for (Scheme scheme : schemes) {
@@ -44,11 +51,11 @@ main(int argc, char **argv)
         spec.scheme = scheme;
         spec.table = TableConfig{256, TableAssoc::Direct};
         spec.slots = 2;
-        for (const std::string &app : apps) {
+        for (const WorkloadSpec &workload : workloads) {
             for (std::uint64_t interval : intervals) {
                 SimConfig config;
                 config.contextSwitchInterval = interval;
-                jobs.push_back(SweepJob::functional(app, spec,
+                jobs.push_back(SweepJob::functional(workload, spec,
                                                     options.refs,
                                                     config));
             }
@@ -58,21 +65,22 @@ main(int argc, char **argv)
 
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"scheme", "app", "interval", "accuracy"});
+        records.header({"scheme", "workload", "interval",
+                        "accuracy"});
 
     std::size_t cell = 0;
     for (Scheme scheme : schemes) {
         TableSink out("--- " + schemeName(scheme) +
                       " accuracy vs context-switch interval ---");
-        out.header({"app", "no switch", "every 500k", "every 100k",
-                    "every 20k"});
-        for (const std::string &app : apps) {
-            std::vector<std::string> row = {app};
+        out.header({"workload", "no switch", "every 500k",
+                    "every 100k", "every 20k"});
+        for (const WorkloadSpec &workload : workloads) {
+            std::vector<std::string> row = {workload.label()};
             for (std::uint64_t interval : intervals) {
                 const SweepResult &r = results[cell++];
                 row.push_back(TablePrinter::num(r.accuracy(), 3));
                 if (!records.empty())
-                    records.row({schemeName(scheme), app,
+                    records.row({schemeName(scheme), r.workload,
                                  TablePrinter::num(interval),
                                  TablePrinter::num(r.accuracy(), 6)});
             }

@@ -11,7 +11,7 @@
  * The app × scheme × feed grid runs as one SweepEngine batch.
  *
  * Usage: ablation_feed [--refs N] [--threads N] [--csv out.csv]
- *                      [--json out.json]
+ *                      [--json out.json] [--workload spec,...]
  */
 
 #include <cstdio>
@@ -31,12 +31,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(options.refs));
 
     const Scheme schemes[] = {Scheme::DP, Scheme::ASP, Scheme::MP};
-    const std::vector<std::string> &apps = highMissRateApps();
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, highMissRateApps());
 
-    // App-major, then scheme, then (miss-only, full-feed), matching
-    // the table's column order.
+    // Workload-major, then scheme, then (miss-only, full-feed),
+    // matching the table's column order.
     std::vector<SweepJob> jobs;
-    for (const std::string &app : apps) {
+    for (const WorkloadSpec &workload : workloads) {
         for (Scheme scheme : schemes) {
             PrefetcherSpec spec;
             spec.scheme = scheme;
@@ -45,10 +46,10 @@ main(int argc, char **argv)
             SimConfig miss_only;
             SimConfig full_feed;
             full_feed.trainOnAllRefs = true;
-            jobs.push_back(SweepJob::functional(app, spec,
+            jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs,
                                                 miss_only));
-            jobs.push_back(SweepJob::functional(app, spec,
+            jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs,
                                                 full_feed));
         }
@@ -56,24 +57,24 @@ main(int argc, char **argv)
     std::vector<SweepResult> results = runBatch(options, jobs);
 
     TableSink out("prediction accuracy under each training feed");
-    out.header({"app", "DP miss", "DP full", "ASP miss", "ASP full",
-                "MP miss", "MP full"});
+    out.header({"workload", "DP miss", "DP full", "ASP miss",
+                "ASP full", "MP miss", "MP full"});
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "scheme", "feed", "accuracy"});
+        records.header({"workload", "scheme", "feed", "accuracy"});
 
     std::size_t cell = 0;
-    for (const std::string &app : apps) {
-        std::vector<std::string> row = {app};
+    for (const WorkloadSpec &workload : workloads) {
+        std::vector<std::string> row = {workload.label()};
         for (Scheme scheme : schemes) {
             const SweepResult &miss = results[cell++];
             const SweepResult &full = results[cell++];
             row.push_back(TablePrinter::num(miss.accuracy(), 3));
             row.push_back(TablePrinter::num(full.accuracy(), 3));
             if (!records.empty()) {
-                records.row({app, schemeName(scheme), "miss",
+                records.row({miss.workload, schemeName(scheme), "miss",
                              TablePrinter::num(miss.accuracy(), 6)});
-                records.row({app, schemeName(scheme), "full",
+                records.row({full.workload, schemeName(scheme), "full",
                              TablePrinter::num(full.accuracy(), 6)});
             }
         }

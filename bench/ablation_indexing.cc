@@ -11,7 +11,7 @@
  *   DP+2dist  — index by hash(previous distance, current distance)
  *
  * Usage: ablation_indexing [--refs N] [--threads N] [--csv out.csv]
- *                          [--json out.json]
+ *                          [--json out.json] [--workload spec,...]
  */
 
 #include <cstdio>
@@ -149,7 +149,8 @@ class IndexedDistancePrefetcher : public Prefetcher
 };
 
 double
-runVariant(const std::string &app, IndexMode mode, std::uint64_t refs)
+runVariant(const WorkloadSpec &workload, IndexMode mode,
+           std::uint64_t refs)
 {
     SimConfig config;
     Tlb tlb(config.tlb);
@@ -157,7 +158,7 @@ runVariant(const std::string &app, IndexMode mode, std::uint64_t refs)
     IndexedDistancePrefetcher prefetcher(
         TableConfig{256, TableAssoc::Direct}, 2, mode);
 
-    auto stream = buildApp(app, refs);
+    auto stream = workload.build(refs);
     MemRef ref;
     PrefetchDecision decision;
     std::uint64_t misses = 0;
@@ -199,32 +200,42 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(options.refs));
 
     // The experimental prefetcher is not a factory Scheme, so the
-    // cells cannot be SweepJobs; fan the app × mode grid out on the
-    // engine's thread pool directly, each cell writing its own slot.
-    const std::vector<std::string> &apps = highMissRateApps();
+    // cells cannot be SweepJobs; fan the workload × mode grid out on
+    // the engine's thread pool directly, each cell writing its own
+    // slot.  build() throws from the workers; the catch below turns
+    // that into the documented clean fatal exit.
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, highMissRateApps());
+    requireUnshardedWorkloads(options, workloads, "ablation_indexing");
     const IndexMode modes[] = {IndexMode::Distance,
                                IndexMode::PcDistance,
                                IndexMode::TwoDistances};
-    std::vector<double> accuracy(apps.size() * 3);
+    std::vector<double> accuracy(workloads.size() * 3);
     ThreadPool pool(options.threads);
-    pool.parallelFor(accuracy.size(), [&](std::size_t i) {
-        accuracy[i] =
-            runVariant(apps[i / 3], modes[i % 3], options.refs);
-    });
+    try {
+        pool.parallelFor(accuracy.size(), [&](std::size_t i) {
+            accuracy[i] =
+                runVariant(workloads[i / 3], modes[i % 3],
+                           options.refs);
+        });
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
 
     TableSink out("prediction accuracy per indexing variant (r=256,D)");
-    out.header({"app", "DP", "DP+PC", "DP+2dist"});
+    out.header({"workload", "DP", "DP+PC", "DP+2dist"});
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "variant", "accuracy"});
+        records.header({"workload", "variant", "accuracy"});
     const char *variant_names[] = {"DP", "DP+PC", "DP+2dist"};
-    for (std::size_t a = 0; a < apps.size(); ++a) {
-        out.row({apps[a], TablePrinter::num(accuracy[a * 3 + 0], 3),
+    for (std::size_t a = 0; a < workloads.size(); ++a) {
+        out.row({workloads[a].label(),
+                 TablePrinter::num(accuracy[a * 3 + 0], 3),
                  TablePrinter::num(accuracy[a * 3 + 1], 3),
                  TablePrinter::num(accuracy[a * 3 + 2], 3)});
         if (!records.empty())
             for (std::size_t m = 0; m < 3; ++m)
-                records.row({apps[a], variant_names[m],
+                records.row({workloads[a].label(), variant_names[m],
                              TablePrinter::num(accuracy[a * 3 + m],
                                                6)});
     }

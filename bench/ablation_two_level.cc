@@ -11,7 +11,7 @@
  * Geometry: 32-entry FA L1 + 128/256-entry FA L2, b = 16.
  *
  * Usage: ablation_two_level [--refs N] [--threads N] [--csv out.csv]
- *                           [--json out.json]
+ *                           [--json out.json] [--workload spec,...]
  */
 
 #include <cstdio>
@@ -42,8 +42,8 @@ struct TwoLevelResult
 };
 
 TwoLevelResult
-run(const std::string &app, Scheme scheme, std::uint32_t l2_entries,
-    std::uint64_t refs)
+run(const WorkloadSpec &workload, Scheme scheme,
+    std::uint32_t l2_entries, std::uint64_t refs)
 {
     TwoLevelTlb tlb({32, 0}, {l2_entries, 0});
     PrefetchBuffer buffer(16);
@@ -56,7 +56,7 @@ run(const std::string &app, Scheme scheme, std::uint32_t l2_entries,
 
     TwoLevelResult result;
     PrefetchDecision decision;
-    auto stream = buildApp(app, refs);
+    auto stream = workload.build(refs);
     MemRef ref;
     while (stream->next(ref)) {
         Vpn vpn = ref.vpn();
@@ -101,33 +101,41 @@ main(int argc, char **argv)
                 "prefetcher after the L2 (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // The two-level loop is not a factory SweepJob; fan the app ×
-    // (scheme, L2 size) grid out on the thread pool, one slot per
-    // cell: dp128 / rp128 / dp256 / rp256.
-    const std::vector<std::string> &apps = highMissRateApps();
+    // The two-level loop is not a factory SweepJob; fan the workload
+    // × (scheme, L2 size) grid out on the thread pool, one slot per
+    // cell: dp128 / rp128 / dp256 / rp256.  build() throws from the
+    // workers; the catch turns that into the clean fatal exit.
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, highMissRateApps());
+    requireUnshardedWorkloads(options, workloads, "ablation_two_level");
     const std::pair<Scheme, std::uint32_t> cells[] = {
         {Scheme::DP, 128},
         {Scheme::RP, 128},
         {Scheme::DP, 256},
         {Scheme::RP, 256},
     };
-    std::vector<TwoLevelResult> results(apps.size() * 4);
+    std::vector<TwoLevelResult> results(workloads.size() * 4);
     ThreadPool pool(options.threads);
-    pool.parallelFor(results.size(), [&](std::size_t i) {
-        const auto &[scheme, l2] = cells[i % 4];
-        results[i] = run(apps[i / 4], scheme, l2, options.refs);
-    });
+    try {
+        pool.parallelFor(results.size(), [&](std::size_t i) {
+            const auto &[scheme, l2] = cells[i % 4];
+            results[i] = run(workloads[i / 4], scheme, l2,
+                             options.refs);
+        });
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
 
     TableSink out("prediction accuracy on the L2 miss stream");
-    out.header({"app", "L2=128 DP", "L2=128 RP", "L2=256 DP",
+    out.header({"workload", "L2=128 DP", "L2=128 RP", "L2=256 DP",
                 "L2=256 RP", "L2-miss rate (128)"});
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "scheme", "l2_entries", "accuracy",
+        records.header({"workload", "scheme", "l2_entries", "accuracy",
                         "l2_miss_rate"});
-    for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (std::size_t a = 0; a < workloads.size(); ++a) {
         const TwoLevelResult &dp128 = results[a * 4 + 0];
-        out.row({apps[a],
+        out.row({workloads[a].label(),
                  TablePrinter::num(results[a * 4 + 0].accuracy(), 3),
                  TablePrinter::num(results[a * 4 + 1].accuracy(), 3),
                  TablePrinter::num(results[a * 4 + 2].accuracy(), 3),
@@ -139,7 +147,7 @@ main(int argc, char **argv)
         if (!records.empty())
             for (std::size_t c = 0; c < 4; ++c)
                 records.row(
-                    {apps[a], schemeName(cells[c].first),
+                    {workloads[a].label(), schemeName(cells[c].first),
                      TablePrinter::num(
                          static_cast<std::uint64_t>(cells[c].second)),
                      TablePrinter::num(results[a * 4 + c].accuracy(),

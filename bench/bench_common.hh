@@ -1,14 +1,24 @@
 /**
  * @file
  * Shared helpers for the bench binaries that regenerate the paper's
- * tables and figures: standard option parsing (reference budget, app
- * subset, thread count, CSV/JSON output paths), result-sink plumbing,
- * and the figure-style accuracy sweep driver.
+ * tables and figures: standard option parsing (reference budget,
+ * workload selection, thread/shard counts, CSV/JSON output paths),
+ * result-sink plumbing, and the figure-style accuracy sweep driver.
  *
  * All sweeps execute on the SweepEngine: a bench builds its full
- * (app × mechanism × geometry) job list up front, runs it across
+ * (workload × mechanism × geometry) job list up front, runs it across
  * --threads workers, and renders the ordered results — so output is
  * bit-identical for any thread count.
+ *
+ * Workload addressing: every binary accepts
+ *   --workload <spec>[,<spec>...]  explicit WorkloadSpec list
+ *                                  (app names, trace:file.tpf,
+ *                                  mix:a+b@100k, spec#k/N)
+ *   --app <name>[,...]             sugar for --workload app:<name>
+ *   --apps a,b,c                   restrict the bench's default app
+ *                                  set (legacy filter)
+ *   --shards N                     split each functional cell into N
+ *                                  merged shard jobs
  */
 
 #ifndef TLBPF_BENCH_BENCH_COMMON_HH
@@ -26,6 +36,7 @@
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/table_printer.hh"
+#include "workload/workload_spec.hh"
 
 namespace tlbpf::bench
 {
@@ -36,16 +47,25 @@ struct BenchOptions
     std::uint64_t refs = kDefaultBenchRefs;
     std::string csvPath;           ///< optional machine-readable dump
     std::string jsonPath;          ///< optional JSON dump
-    std::vector<std::string> apps; ///< restrict to a subset
+    std::vector<std::string> apps; ///< restrict the default set
+    std::vector<WorkloadSpec> workloads; ///< explicit --workload/--app
     unsigned threads = 1;          ///< sweep-engine worker count
+    std::uint32_t shards = 1;      ///< shard fan-out per functional cell
 };
+
+/** The option names every bench accepts (one source of truth). */
+inline std::vector<std::string>
+standardBenchFlags()
+{
+    return {"refs", "csv",      "json", "apps",
+            "threads", "workload", "app",  "shards"};
+}
 
 inline BenchOptions
 parseBenchOptions(int argc, const char *const *argv,
                   std::vector<std::string> extra_known = {})
 {
-    std::vector<std::string> known = {"refs", "csv", "json", "apps",
-                                      "threads"};
+    std::vector<std::string> known = standardBenchFlags();
     for (auto &k : extra_known)
         known.push_back(k);
     CliArgs args(argc, argv, known);
@@ -57,6 +77,10 @@ parseBenchOptions(int argc, const char *const *argv,
     options.jsonPath = args.get("json");
     if (args.has("apps"))
         options.apps = parseStringList(args.get("apps"));
+    for (const std::string &spec : parseStringList(args.get("workload")))
+        options.workloads.push_back(parseWorkloadOrDie(spec));
+    for (const std::string &name : parseStringList(args.get("app")))
+        options.workloads.push_back(parseWorkloadOrDie("app:" + name));
     std::int64_t threads = args.getInt(
         "threads",
         static_cast<std::int64_t>(ThreadPool::defaultThreadCount()));
@@ -64,6 +88,10 @@ parseBenchOptions(int argc, const char *const *argv,
         tlbpf_fatal("--threads must be in [0, 4096], got ", threads);
     options.threads = threads ? static_cast<unsigned>(threads)
                               : ThreadPool::defaultThreadCount();
+    std::int64_t shards = args.getInt("shards", 1);
+    if (shards < 1 || shards > 4096)
+        tlbpf_fatal("--shards must be in [1, 4096], got ", shards);
+    options.shards = static_cast<std::uint32_t>(shards);
     return options;
 }
 
@@ -74,6 +102,37 @@ appSelected(const BenchOptions &options, const std::string &name)
     return options.apps.empty() ||
            std::find(options.apps.begin(), options.apps.end(), name) !=
                options.apps.end();
+}
+
+/**
+ * The workload list a bench should sweep: the explicit --workload /
+ * --app list when one was given, otherwise the bench's default app
+ * names (filtered by --apps) as registry-app specs.
+ */
+inline std::vector<WorkloadSpec>
+selectedWorkloads(const BenchOptions &options,
+                  const std::vector<std::string> &default_apps)
+{
+    if (!options.workloads.empty())
+        return options.workloads;
+    std::vector<WorkloadSpec> workloads;
+    workloads.reserve(default_apps.size());
+    for (const std::string &name : default_apps)
+        if (appSelected(options, name))
+            workloads.push_back(WorkloadSpec::app(name));
+    return workloads;
+}
+
+/** Registry-model overload of selectedWorkloads(). */
+inline std::vector<WorkloadSpec>
+selectedWorkloads(const BenchOptions &options,
+                  const std::vector<const AppModel *> &default_apps)
+{
+    std::vector<std::string> names;
+    names.reserve(default_apps.size());
+    for (const AppModel *app : default_apps)
+        names.push_back(app->name);
+    return selectedWorkloads(options, names);
 }
 
 /**
@@ -92,52 +151,73 @@ recordSinks(const BenchOptions &options)
 }
 
 /**
- * Run @p jobs on an engine with options.threads workers, converting a
- * malformed-job exception into the clean fatal exit the bench
- * binaries document (reachable via --refs 0).
+ * Run @p jobs on an engine with options.threads workers, applying the
+ * --shards map/reduce (each functional cell fans out into
+ * options.shards merged shard jobs), and converting a malformed-job
+ * exception into the clean fatal exit the bench binaries document
+ * (reachable via --refs 0, an unknown app, or a bad trace path).
+ * Returns one result per entry of @p jobs.
  */
 inline std::vector<SweepResult>
 runBatch(const BenchOptions &options, const std::vector<SweepJob> &jobs)
 {
     try {
+        ShardPlan plan = expandShards(jobs, options.shards);
         // No point spinning up more workers than there are cells.
         unsigned threads = static_cast<unsigned>(
             std::min<std::size_t>(options.threads,
-                                  std::max<std::size_t>(jobs.size(),
-                                                        1)));
+                                  std::max<std::size_t>(
+                                      plan.jobs.size(), 1)));
         SweepEngine engine(threads);
-        return engine.run(jobs);
+        return mergeShardResults(plan, engine.run(plan.jobs));
     } catch (const std::invalid_argument &e) {
         tlbpf_fatal(e.what());
     }
 }
 
 /**
- * Print one figure-style "bar group" row per application: the full
- * app × spec grid runs as one engine batch, the table shows accuracy
- * per (app, spec) cell, and --csv/--json receive long-format
- * (app, mechanism, accuracy, miss_rate) records.
+ * Guard for the benches whose cells run whole streams outside the
+ * SweepJob machinery (distance_stats, ablation_indexing,
+ * ablation_two_level): they cannot window counters, so a shard
+ * suffix or --shards would be silently ignored while still labelling
+ * the output — fatal instead.
+ */
+inline void
+requireUnshardedWorkloads(const BenchOptions &options,
+                          const std::vector<WorkloadSpec> &workloads,
+                          const char *bench)
+{
+    if (options.shards > 1)
+        tlbpf_fatal(bench, " runs whole streams and does not support "
+                           "--shards");
+    for (const WorkloadSpec &workload : workloads)
+        if (workload.sharded())
+            tlbpf_fatal(bench, " runs whole streams and does not "
+                               "support sharded workload '",
+                        workload.label(), "'");
+}
+
+/**
+ * Print one figure-style "bar group" row per workload: the full
+ * workload × spec grid runs as one engine batch, the table shows
+ * accuracy per (workload, spec) cell, and --csv/--json receive
+ * long-format (workload, mechanism, accuracy, miss_rate) records.
  */
 inline void
 printAccuracyFigure(const std::string &caption,
-                    const std::vector<const AppModel *> &apps,
+                    const std::vector<WorkloadSpec> &workloads,
                     const std::vector<PrefetcherSpec> &specs,
                     const BenchOptions &options)
 {
-    std::vector<const AppModel *> selected;
-    for (const AppModel *app : apps)
-        if (appSelected(options, app->name))
-            selected.push_back(app);
-
     std::vector<SweepJob> jobs;
-    jobs.reserve(selected.size() * specs.size());
-    for (const AppModel *app : selected)
+    jobs.reserve(workloads.size() * specs.size());
+    for (const WorkloadSpec &workload : workloads)
         for (const PrefetcherSpec &spec : specs)
-            jobs.push_back(SweepJob::functional(app->name, spec,
+            jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
-    std::vector<std::string> header = {"app"};
+    std::vector<std::string> header = {"workload"};
     for (const PrefetcherSpec &spec : specs)
         header.push_back(spec.label());
     TableSink table(caption);
@@ -145,16 +225,17 @@ printAccuracyFigure(const std::string &caption,
 
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "mechanism", "accuracy", "miss_rate"});
+        records.header({"workload", "mechanism", "accuracy",
+                        "miss_rate"});
 
     std::size_t cell = 0;
-    for (const AppModel *app : selected) {
-        std::vector<std::string> row = {app->name};
+    for (const WorkloadSpec &workload : workloads) {
+        std::vector<std::string> row = {workload.label()};
         for (const PrefetcherSpec &spec : specs) {
             const SweepResult &r = results[cell++];
             row.push_back(TablePrinter::num(r.accuracy(), 3));
             if (!records.empty())
-                records.row({app->name, spec.label(),
+                records.row({r.workload, spec.label(),
                              TablePrinter::num(r.accuracy(), 6),
                              TablePrinter::num(r.missRate(), 6)});
         }

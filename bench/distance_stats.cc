@@ -12,6 +12,7 @@
  *
  * Usage: distance_stats [--refs N] [--apps a,b,c] [--threads N]
  *                       [--csv out.csv] [--json out.json]
+ *                       [--workload spec,...]
  */
 
 #include <cstdio>
@@ -32,22 +33,26 @@ main(int argc, char **argv)
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    std::vector<const AppModel *> apps;
+    std::vector<std::string> names;
     for (const AppModel &app : appRegistry())
-        if (appSelected(options, app.name))
-            apps.push_back(&app);
+        names.push_back(app.name);
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, names);
+    requireUnshardedWorkloads(options, workloads, "distance_stats");
 
-    // One pool cell per application; each builds its own stream, TLB
-    // and histograms and fills its row slot.
-    std::vector<std::vector<std::string>> rows(apps.size());
+    // One pool cell per workload; each builds its own stream, TLB
+    // and histograms and fills its row slot.  WorkloadSpec::build
+    // throws (never exits) from the workers, so a bad workload
+    // surfaces as one clean fatal after the pool drains.
+    std::vector<std::vector<std::string>> rows(workloads.size());
     ThreadPool pool(options.threads);
-    pool.parallelFor(apps.size(), [&](std::size_t i) {
+    auto analyse = [&](std::size_t i) {
         Tlb tlb({128, 0});
         SparseHistogram distances;
         SparseHistogram pages;
         Vpn prev = kNoPage;
 
-        auto stream = buildApp(apps[i]->name, options.refs);
+        auto stream = workloads[i].build(options.refs);
         MemRef ref;
         while (stream->next(ref)) {
             Vpn vpn = ref.vpn();
@@ -71,7 +76,7 @@ main(int argc, char **argv)
                        2) +
                    ")";
         }
-        rows[i] = {apps[i]->name,
+        rows[i] = {workloads[i].label(),
                    TablePrinter::num(distances.total()),
                    TablePrinter::num(
                        static_cast<std::uint64_t>(pages.distinct())),
@@ -79,11 +84,16 @@ main(int argc, char **argv)
                        distances.distinct())),
                    TablePrinter::num(distances.coverage(8), 3),
                    top1};
-    });
+    };
+    try {
+        pool.parallelFor(workloads.size(), analyse);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
 
     TableSink out("128-entry FA TLB; distances between successive "
                   "missing pages");
-    std::vector<std::string> header = {"app", "misses",
+    std::vector<std::string> header = {"workload", "misses",
                                        "distinct pages",
                                        "distinct distances",
                                        "top-8 coverage",

@@ -13,7 +13,8 @@
  * it on N workers with bit-identical output to --threads 1.
  *
  * Usage: fig7_spec [--refs N] [--apps gzip,mcf,...] [--csv out.csv]
- *                  [--json out.json] [--threads N]
+ *                  [--json out.json] [--threads N] [--shards N]
+ *                  [--workload spec,...]
  */
 
 #include <cstdio>
@@ -31,7 +32,8 @@ main(int argc, char **argv)
                 "(refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
     printAccuracyFigure("128-entry FA TLB, b=16, s=2, 4KB pages",
-                        appsInSuite(kSuiteSpec), figure7Specs(),
-                        options);
+                        selectedWorkloads(options,
+                                          appsInSuite(kSuiteSpec)),
+                        figure7Specs(), options);
     return 0;
 }

@@ -9,7 +9,9 @@
  * last suite printed.
  *
  * Usage: fig8_suites [--refs N] [--apps gsm-enc,...] [--csv out.csv]
- *                    [--json out.json] [--threads N]
+ *                    [--json out.json] [--threads N] [--shards N]
+ *                    [--workload spec,...]  (an explicit workload list
+ *                    replaces every suite's app set)
  */
 
 #include <cstdio>
@@ -26,10 +28,18 @@ main(int argc, char **argv)
     std::printf("=== Figure 8: prediction accuracy, MediaBench / Etch "
                 "/ Pointer-Intensive (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
+    if (!options.workloads.empty()) {
+        // An explicit list belongs to no suite; sweep it once.
+        printAccuracyFigure("--- explicit workloads ---",
+                            options.workloads, figure7Specs(),
+                            options);
+        return 0;
+    }
     for (const char *suite : {kSuiteMedia, kSuiteEtch, kSuitePtr}) {
         printAccuracyFigure(std::string("--- ") + suite + " ---",
-                            appsInSuite(suite), figure7Specs(),
-                            options);
+                            selectedWorkloads(options,
+                                              appsInSuite(suite)),
+                            figure7Specs(), options);
     }
     return 0;
 }

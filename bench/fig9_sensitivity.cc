@@ -16,7 +16,8 @@
  * run on --threads workers with results rendered in submission order.
  *
  * Usage: fig9_sensitivity [--panel r|s|b|tlb|page|all] [--refs N]
- *                         [--threads N] [--csv out.csv] [--json out.json]
+ *                         [--threads N] [--shards N] [--csv out.csv]
+ *                         [--json out.json] [--workload spec,...]
  */
 
 #include <cstdio>
@@ -58,18 +59,19 @@ runPanel(const std::string &caption, const std::string &panel,
          const std::vector<PanelColumn> &columns,
          const BenchOptions &options)
 {
-    const std::vector<std::string> &apps = highMissRateApps();
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, highMissRateApps());
 
     std::vector<SweepJob> jobs;
-    jobs.reserve(apps.size() * columns.size());
-    for (const std::string &app : apps)
+    jobs.reserve(workloads.size() * columns.size());
+    for (const WorkloadSpec &workload : workloads)
         for (const PanelColumn &col : columns)
-            jobs.push_back(SweepJob::functional(app, col.spec,
+            jobs.push_back(SweepJob::functional(workload, col.spec,
                                                 options.refs,
                                                 col.config));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
-    std::vector<std::string> header = {"app"};
+    std::vector<std::string> header = {"workload"};
     for (const PanelColumn &col : columns)
         header.push_back(col.label);
     TableSink table(caption);
@@ -77,16 +79,16 @@ runPanel(const std::string &caption, const std::string &panel,
 
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"panel", "app", "column", "accuracy"});
+        records.header({"panel", "workload", "column", "accuracy"});
 
     std::size_t cell = 0;
-    for (const std::string &app : apps) {
-        std::vector<std::string> row = {app};
+    for (const WorkloadSpec &workload : workloads) {
+        std::vector<std::string> row = {workload.label()};
         for (const PanelColumn &col : columns) {
             const SweepResult &r = results[cell++];
             row.push_back(TablePrinter::num(r.accuracy(), 3));
             if (!records.empty())
-                records.row({panel, app, col.label,
+                records.row({panel, r.workload, col.label,
                              TablePrinter::num(r.accuracy(), 6)});
         }
         table.row(row);
@@ -177,8 +179,9 @@ int
 main(int argc, char **argv)
 {
     BenchOptions options = parseBenchOptions(argc, argv, {"panel"});
-    CliArgs args(argc, argv,
-                 {"refs", "csv", "json", "apps", "threads", "panel"});
+    std::vector<std::string> known = standardBenchFlags();
+    known.push_back("panel");
+    CliArgs args(argc, argv, known);
     std::string panel = args.get("panel", "all");
 
     std::printf("=== Figure 9: DP sensitivity analysis (refs/app = "

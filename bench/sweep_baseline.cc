@@ -12,6 +12,12 @@
  * regeneration.  Determinism is asserted, not assumed: the parallel
  * run's counters must equal the serial run's.
  *
+ * A second phase times the shard map/reduce path: one cell sharded
+ * kShardFanout ways, merged, and checked bit-identical against the
+ * unsharded run, so BENCH_sweep.json also tracks shard-merge
+ * overhead (shards replay the stream prefix to warm state exactly,
+ * so the merged wall-clock cost above 1x is the price of exactness).
+ *
  * Usage: sweep_baseline [--refs N] [--threads N] [--json out.json]
  */
 
@@ -34,15 +40,16 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     for (const std::string &app : highMissRateApps())
         for (const PrefetcherSpec &spec : table2Specs())
-            jobs.push_back(SweepJob::functional(app, spec,
-                                                options.refs));
+            jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
+                                                spec, options.refs));
     for (const std::string &app : table3Apps()) {
         for (Scheme scheme : {Scheme::RP, Scheme::DP}) {
             PrefetcherSpec spec;
             spec.scheme = scheme;
             spec.table = TableConfig{256, TableAssoc::Direct};
             spec.slots = 2;
-            jobs.push_back(SweepJob::timed(app, spec, options.refs));
+            jobs.push_back(SweepJob::timed(WorkloadSpec::app(app), spec,
+                                           options.refs));
         }
     }
 
@@ -79,6 +86,36 @@ main(int argc, char **argv)
     double serial_cps = cells / serial_s;
     double parallel_cps = cells / parallel_s;
 
+    // Shard map/reduce overhead on one representative cell.
+    constexpr std::uint32_t kShardFanout = 4;
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    dp.table = TableConfig{256, TableAssoc::Direct};
+    dp.slots = 2;
+    std::vector<SweepJob> shard_cell = {SweepJob::functional(
+        WorkloadSpec::app("mcf"), dp, options.refs)};
+
+    auto t0 = Clock::now();
+    SweepEngine shard_serial(1);
+    SweepResult unsharded = shard_serial.run(shard_cell)[0];
+    double unsharded_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    t0 = Clock::now();
+    SweepEngine shard_engine(options.threads);
+    SweepResult merged =
+        shard_engine.runSharded(shard_cell, kShardFanout)[0];
+    double sharded_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    if (merged.functional.refs != unsharded.functional.refs ||
+        merged.functional.misses != unsharded.functional.misses ||
+        merged.functional.pbHits != unsharded.functional.pbHits ||
+        merged.functional.prefetchesIssued !=
+            unsharded.functional.prefetchesIssued)
+        tlbpf_fatal("sharded-and-merged counters diverged from the "
+                    "unsharded cell");
+
     TableSink table;
     table.header({"mode", "threads", "seconds", "cells/sec"});
     table.row({"serial", "1", TablePrinter::num(serial_s, 3),
@@ -89,12 +126,18 @@ main(int argc, char **argv)
     table.finish();
     std::printf("speedup: %.2fx (hardware concurrency: %u)\n",
                 serial_s / parallel_s, ThreadPool::defaultThreadCount());
+    std::printf("shard map/reduce (%u shards, merged == unsharded): "
+                "%.3fs vs %.3fs unsharded (overhead %.2fx)\n",
+                kShardFanout, sharded_s, unsharded_s,
+                sharded_s / unsharded_s);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
                  "hardware_concurrency", "serial_seconds",
                  "parallel_seconds", "serial_cells_per_sec",
-                 "parallel_cells_per_sec", "speedup"});
+                 "parallel_cells_per_sec", "speedup", "shard_fanout",
+                 "shard_unsharded_seconds", "shard_merged_seconds",
+                 "shard_overhead"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -103,7 +146,11 @@ main(int argc, char **argv)
               TablePrinter::num(parallel_s, 4),
               TablePrinter::num(serial_cps, 2),
               TablePrinter::num(parallel_cps, 2),
-              TablePrinter::num(serial_s / parallel_s, 3)});
+              TablePrinter::num(serial_s / parallel_s, 3),
+              std::to_string(kShardFanout),
+              TablePrinter::num(unsharded_s, 4),
+              TablePrinter::num(sharded_s, 4),
+              TablePrinter::num(sharded_s / unsharded_s, 3)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

@@ -6,7 +6,7 @@
  * as a one-cell SweepEngine batch).
  *
  * Usage: table1_hardware [--refs N] [--threads N] [--csv out.csv]
- *                        [--json out.json]
+ *                        [--json out.json] [--workload spec]
  */
 
 #include <cstdio>
@@ -69,14 +69,24 @@ main(int argc, char **argv)
 
     // Quantify RP's in-memory cost and DP's on-chip cost on a real
     // model: RP grows the page table by two words per PTE; DP needs a
-    // few hundred bytes of on-chip table.
+    // few hundred bytes of on-chip table.  The representative run
+    // defaults to mcf; --workload substitutes any spec.
     PrefetcherSpec rp_spec;
     rp_spec.scheme = Scheme::RP;
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, std::vector<std::string>{"mcf"});
+    if (workloads.empty())
+        tlbpf_fatal("no workload selected for the representative run");
+    if (workloads.size() > 1)
+        tlbpf_fatal("table1_hardware runs one representative cell; "
+                    "pass a single --workload spec, got ",
+                    workloads.size());
     std::vector<SweepJob> jobs = {
-        SweepJob::functional("mcf", rp_spec, options.refs)};
+        SweepJob::functional(workloads.front(), rp_spec, options.refs)};
     SimResult run = runBatch(options, jobs)[0].functional;
-    std::printf("\nRP page-table overhead on mcf (%llu pages touched): "
+    std::printf("\nRP page-table overhead on %s (%llu pages touched): "
                 "%llu bytes in memory\n",
+                workloads.front().label().c_str(),
                 static_cast<unsigned long long>(run.footprintPages),
                 static_cast<unsigned long long>(run.footprintPages *
                                                 16));

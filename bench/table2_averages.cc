@@ -13,8 +13,9 @@
  * from the ordered results, so every thread count prints identical
  * numbers and writes identical --csv/--json bytes.
  *
- * Usage: table2_averages [--refs N] [--threads N] [--csv out.csv]
- *                        [--json out.json]
+ * Usage: table2_averages [--refs N] [--threads N] [--shards N]
+ *                        [--csv out.csv] [--json out.json]
+ *                        [--workload spec,...]
  */
 
 #include <cstdio>
@@ -33,18 +34,23 @@ main(int argc, char **argv)
     std::printf("=== Table 2: average prediction accuracy over the 56 "
                 "applications (s=2, r=256) ===\n");
 
-    const std::vector<AppModel> &apps = appRegistry();
+    std::vector<std::string> registry_names;
+    for (const AppModel &app : appRegistry())
+        registry_names.push_back(app.name);
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, registry_names);
     std::vector<SweepJob> jobs;
-    jobs.reserve(apps.size() * specs.size());
-    for (const AppModel &app : apps)
+    jobs.reserve(workloads.size() * specs.size());
+    for (const WorkloadSpec &workload : workloads)
         for (const PrefetcherSpec &spec : specs)
-            jobs.push_back(SweepJob::functional(app.name, spec,
+            jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "miss_rate", "DP", "RP", "ASP", "MP"});
+        records.header({"workload", "miss_rate", "DP", "RP", "ASP",
+                        "MP"});
 
     double sum[4] = {};
     double weighted_sum[4] = {};
@@ -52,7 +58,8 @@ main(int argc, char **argv)
     std::size_t n = 0;
 
     std::size_t cell = 0;
-    for (const AppModel &app : apps) {
+    for (const WorkloadSpec &workload : workloads) {
+        (void)workload;
         double acc[4] = {};
         double miss_rate = 0.0;
         for (std::size_t i = 0; i < specs.size(); ++i) {
@@ -67,7 +74,8 @@ main(int argc, char **argv)
         weight_total += miss_rate;
         ++n;
         if (!records.empty())
-            records.row({app.name, TablePrinter::num(miss_rate, 6),
+            records.row({results[cell - 1].workload,
+                         TablePrinter::num(miss_rate, 6),
                          TablePrinter::num(acc[0], 6),
                          TablePrinter::num(acc[1], 6),
                          TablePrinter::num(acc[2], 6),

@@ -17,7 +17,7 @@
  * one SweepEngine batch on --threads workers.
  *
  * Usage: table3_cycles [--refs N] [--threads N] [--csv out.csv]
- *                      [--json out.json]
+ *                      [--json out.json] [--workload spec,...]
  */
 
 #include <cstdio>
@@ -45,24 +45,34 @@ main(int argc, char **argv)
                 "(s=2, r=256, refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // Per app, in slot order: baseline / RP / DP timing cells.
-    const std::vector<std::string> &apps = table3Apps();
+    // Per workload, in slot order: baseline / RP / DP timing cells.
+    std::vector<WorkloadSpec> workloads =
+        selectedWorkloads(options, table3Apps());
+    if (options.shards > 1)
+        tlbpf_fatal("table3_cycles runs timing cells; sharding "
+                    "supports functional cells only");
+    for (const WorkloadSpec &workload : workloads)
+        if (workload.sharded())
+            tlbpf_fatal("table3_cycles runs timing cells; sharded "
+                        "workload '", workload.label(),
+                        "' is not supported");
     std::vector<SweepJob> jobs;
-    jobs.reserve(apps.size() * 3);
-    for (const std::string &app : apps)
+    jobs.reserve(workloads.size() * 3);
+    for (const WorkloadSpec &workload : workloads)
         for (const PrefetcherSpec &spec : {none, rp, dp})
-            jobs.push_back(SweepJob::timed(app, spec, options.refs));
+            jobs.push_back(SweepJob::timed(workload, spec,
+                                           options.refs));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
     TableSink out;
-    out.header({"app", "RP", "DP", "RP acc", "DP acc", "RP memops",
-                "DP memops"});
+    out.header({"workload", "RP", "DP", "RP acc", "DP acc",
+                "RP memops", "DP memops"});
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"app", "rp_norm", "dp_norm", "rp_acc",
+        records.header({"workload", "rp_norm", "dp_norm", "rp_acc",
                         "dp_acc", "rp_memops", "dp_memops"});
 
-    for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (std::size_t a = 0; a < workloads.size(); ++a) {
         const TimingResult &base = results[a * 3 + 0].timed;
         const TimingResult &with_rp = results[a * 3 + 1].timed;
         const TimingResult &with_dp = results[a * 3 + 2].timed;
@@ -70,14 +80,16 @@ main(int argc, char **argv)
                          static_cast<double>(base.cycles);
         double dp_norm = static_cast<double>(with_dp.cycles) /
                          static_cast<double>(base.cycles);
-        out.row({apps[a], TablePrinter::num(rp_norm, 2),
+        out.row({workloads[a].label(),
+                 TablePrinter::num(rp_norm, 2),
                  TablePrinter::num(dp_norm, 2),
                  TablePrinter::num(with_rp.functional.accuracy(), 3),
                  TablePrinter::num(with_dp.functional.accuracy(), 3),
                  TablePrinter::num(with_rp.memoryOps),
                  TablePrinter::num(with_dp.memoryOps)});
         if (!records.empty())
-            records.row({apps[a], TablePrinter::num(rp_norm, 6),
+            records.row({workloads[a].label(),
+                         TablePrinter::num(rp_norm, 6),
                          TablePrinter::num(dp_norm, 6),
                          TablePrinter::num(
                              with_rp.functional.accuracy(), 6),

@@ -3,14 +3,15 @@
  * The unit of work of the sweep engine: one simulation cell.
  *
  * Every figure and table in the paper is a sweep over
- * (application × mechanism × geometry) cells.  A SweepJob captures
- * one such cell as a plain value — application model name, prefetcher
- * spec, reference budget, simulator geometry, and whether the cell
- * runs under the functional or the timing model — so a whole figure
- * is just a std::vector<SweepJob> that can be executed in any order
- * on any number of threads.  Each job builds its own stream and
- * simulator state when it runs; nothing is shared mutably between
- * cells.
+ * (workload × mechanism × geometry) cells.  A SweepJob captures one
+ * such cell as a plain value — a WorkloadSpec naming the reference
+ * stream (registry app, trace file, multi-programmed mix, or a shard
+ * of any of those), prefetcher spec, reference budget, simulator
+ * geometry, and whether the cell runs under the functional or the
+ * timing model — so a whole figure is just a std::vector<SweepJob>
+ * that can be executed in any order on any number of threads.  Each
+ * job builds its own stream and simulator state when it runs; nothing
+ * is shared mutably between cells.
  */
 
 #ifndef TLBPF_RUN_JOB_HH
@@ -21,6 +22,7 @@
 #include "prefetch/factory.hh"
 #include "sim/functional_sim.hh"
 #include "sim/timing_sim.hh"
+#include "workload/workload_spec.hh"
 
 namespace tlbpf
 {
@@ -35,7 +37,7 @@ enum class JobMode
 /** One simulation cell, ready to execute on any thread. */
 struct SweepJob
 {
-    std::string app;          ///< app-registry model name
+    WorkloadSpec workload;    ///< what reference stream to simulate
     PrefetcherSpec spec;      ///< mechanism + geometry
     std::uint64_t refs = 0;   ///< reference budget (must be > 0)
     SimConfig config{};       ///< TLB/buffer geometry, ablation flags
@@ -44,11 +46,11 @@ struct SweepJob
 
     /** Functional-mode cell. */
     static SweepJob
-    functional(std::string app, const PrefetcherSpec &spec,
+    functional(WorkloadSpec workload, const PrefetcherSpec &spec,
                std::uint64_t refs, const SimConfig &config = SimConfig{})
     {
         SweepJob job;
-        job.app = std::move(app);
+        job.workload = std::move(workload);
         job.spec = spec;
         job.refs = refs;
         job.config = config;
@@ -58,12 +60,12 @@ struct SweepJob
 
     /** Timing-mode cell. */
     static SweepJob
-    timed(std::string app, const PrefetcherSpec &spec,
+    timed(WorkloadSpec workload, const PrefetcherSpec &spec,
           std::uint64_t refs, const SimConfig &config = SimConfig{},
           const TimingConfig &timing = TimingConfig{})
     {
         SweepJob job;
-        job.app = std::move(app);
+        job.workload = std::move(workload);
         job.spec = spec;
         job.refs = refs;
         job.config = config;
@@ -71,12 +73,38 @@ struct SweepJob
         job.mode = JobMode::Timed;
         return job;
     }
+
+    /**
+     * Deprecated string-addressed overloads, kept for one PR: the
+     * string is parsed as a WorkloadSpec (a bare name still denotes a
+     * registry app, and any spec-grammar string works), but callers
+     * should construct the WorkloadSpec themselves.
+     */
+    [[deprecated("address workloads with a WorkloadSpec")]]
+    static SweepJob
+    functional(const std::string &workload, const PrefetcherSpec &spec,
+               std::uint64_t refs, const SimConfig &config = SimConfig{})
+    {
+        return functional(WorkloadSpec::parse(workload), spec, refs,
+                          config);
+    }
+
+    [[deprecated("address workloads with a WorkloadSpec")]]
+    static SweepJob
+    timed(const std::string &workload, const PrefetcherSpec &spec,
+          std::uint64_t refs, const SimConfig &config = SimConfig{},
+          const TimingConfig &timing = TimingConfig{})
+    {
+        return timed(WorkloadSpec::parse(workload), spec, refs, config,
+                     timing);
+    }
 };
 
 /** Outcome of one cell, in the submission slot of its job. */
 struct SweepResult
 {
     JobMode mode = JobMode::Functional;
+    std::string workload; ///< resolved workload label of the cell
     SimResult functional; ///< valid in both modes
     TimingResult timed;   ///< valid only when mode == Timed
 

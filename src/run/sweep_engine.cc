@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "workload/app_registry.hh"
-
 namespace tlbpf
 {
 
@@ -12,16 +10,27 @@ runSweepJob(const SweepJob &job)
 {
     if (job.refs == 0)
         throw std::invalid_argument(
-            "sweep job for '" + job.app +
+            "sweep job for '" + job.workload.label() +
             "' needs a positive reference budget");
-    const AppModel *app = findAppOrNull(job.app);
-    if (!app)
-        throw std::invalid_argument("unknown application model '" +
-                                    job.app + "'");
 
     SweepResult result;
     result.mode = job.mode;
-    auto stream = buildApp(*app, job.refs);
+    result.workload = job.workload.label();
+
+    if (job.workload.sharded()) {
+        if (job.mode != JobMode::Functional)
+            throw std::invalid_argument(
+                "sharded workload '" + job.workload.label() +
+                "' requires a functional cell (timing cells cannot "
+                "be sharded)");
+        auto [begin, end] = job.workload.shardWindow(job.refs);
+        auto stream = job.workload.base().build(job.refs);
+        result.functional = simulateWindow(job.config, job.spec,
+                                           *stream, begin, end - begin);
+        return result;
+    }
+
+    auto stream = job.workload.build(job.refs);
     if (job.mode == JobMode::Timed) {
         result.timed =
             simulateTimed(job.config, job.timing, job.spec, *stream);
@@ -32,6 +41,65 @@ runSweepJob(const SweepJob &job)
     return result;
 }
 
+ShardPlan
+expandShards(const std::vector<SweepJob> &jobs, std::uint32_t shards)
+{
+    ShardPlan plan;
+    plan.groupSizes.reserve(jobs.size());
+    plan.jobs.reserve(shards <= 1 ? jobs.size()
+                                  : jobs.size() * shards);
+    for (const SweepJob &job : jobs) {
+        if (shards <= 1 || job.mode != JobMode::Functional ||
+            job.workload.sharded()) {
+            plan.jobs.push_back(job);
+            plan.groupSizes.push_back(1);
+            continue;
+        }
+        for (std::uint32_t k = 0; k < shards; ++k) {
+            SweepJob shard = job;
+            shard.workload = job.workload.withShard(k, shards);
+            plan.jobs.push_back(std::move(shard));
+        }
+        plan.groupSizes.push_back(shards);
+    }
+    return plan;
+}
+
+std::vector<SweepResult>
+mergeShardResults(const ShardPlan &plan,
+                  const std::vector<SweepResult> &results)
+{
+    if (plan.jobs.size() != results.size())
+        throw std::invalid_argument(
+            "shard merge: plan/result batch size mismatch");
+
+    std::vector<SweepResult> merged;
+    merged.reserve(plan.groupSizes.size());
+    std::size_t i = 0;
+    for (std::uint32_t count : plan.groupSizes) {
+        if (i + count > results.size())
+            throw std::invalid_argument(
+                "shard merge: plan group sizes exceed the result "
+                "batch");
+        if (count == 1) {
+            merged.push_back(results[i]);
+            ++i;
+            continue;
+        }
+        SweepResult folded;
+        folded.mode = plan.jobs[i].mode;
+        folded.workload = plan.jobs[i].workload.base().label();
+        for (std::uint32_t k = 0; k < count; ++k, ++i)
+            addCounters(folded.functional, results[i].functional);
+        merged.push_back(std::move(folded));
+    }
+    if (i != results.size())
+        throw std::invalid_argument(
+            "shard merge: plan group sizes do not cover the result "
+            "batch");
+    return merged;
+}
+
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
@@ -40,6 +108,14 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
         results[i] = runSweepJob(jobs[i]);
     });
     return results;
+}
+
+std::vector<SweepResult>
+SweepEngine::runSharded(const std::vector<SweepJob> &jobs,
+                        std::uint32_t shards)
+{
+    ShardPlan plan = expandShards(jobs, shards);
+    return mergeShardResults(plan, run(plan.jobs));
 }
 
 } // namespace tlbpf

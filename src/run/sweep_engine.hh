@@ -11,9 +11,18 @@
  * serial loop.
  *
  * A job that cannot run (zero reference budget, unknown application
- * model) throws std::invalid_argument; the engine propagates the
+ * model, unreadable trace file, malformed mix, a sharded timing cell)
+ * throws std::invalid_argument; the engine propagates the
  * lowest-submission-index exception to the caller of run() after the
- * batch drains.
+ * batch drains.  Workload resolution inside a worker never calls the
+ * fatal-exit registry path, so a bad workload surfaces as a clean
+ * batch failure, not a process exit from mid-pool.
+ *
+ * Sharding: expandShards() splits each functional cell into N
+ * per-shard jobs (shard k simulates the whole stream but records only
+ * its window of the counters), and mergeShardResults() is the reduce
+ * step that folds the per-shard counter deltas back into one result
+ * per original cell — bit-identical to the unsharded run.
  */
 
 #ifndef TLBPF_RUN_SWEEP_ENGINE_HH
@@ -29,12 +38,48 @@ namespace tlbpf
 
 /**
  * Execute one cell on the calling thread.  Throws
- * std::invalid_argument if the job is malformed (refs == 0 or an app
- * name the registry does not know) — unlike the bench entry points,
- * which tlbpf_fatal, so that the engine can report a failing cell
- * without tearing down the process from a worker thread.
+ * std::invalid_argument if the job is malformed — unlike the bench
+ * entry points, which tlbpf_fatal, so that the engine can report a
+ * failing cell without tearing down the process from a worker thread.
  */
 SweepResult runSweepJob(const SweepJob &job);
+
+/**
+ * The expanded batch of a sharded run plus the explicit grouping the
+ * reduce step folds.  groupSizes has one entry per pre-expansion job:
+ * how many consecutive entries of jobs belong to it (shards of a
+ * fanned-out cell, or 1 for a job that passed through).  Groups are
+ * recorded explicitly rather than inferred from job shapes, so
+ * caller-submitted `spec#k/N` cells are never confused with the
+ * expansion of a neighbouring cell.
+ */
+struct ShardPlan
+{
+    std::vector<SweepJob> jobs;
+    std::vector<std::uint32_t> groupSizes;
+};
+
+/**
+ * Map phase of a sharded run: expand every unsharded functional job
+ * into @p shards per-shard jobs (consecutive, shard order); timing
+ * cells and jobs that already name an explicit shard pass through
+ * unchanged as groups of one.  @p shards <= 1 keeps every job as-is.
+ */
+ShardPlan expandShards(const std::vector<SweepJob> &jobs,
+                       std::uint32_t shards);
+
+/**
+ * Reduce phase: fold the results of @p plan.jobs back into one
+ * result per pre-expansion job by summing the counter windows of
+ * each plan group; a merged result carries the unsharded workload
+ * label.  Jobs in singleton groups (including explicit `spec#k/N`
+ * cells a caller submitted to run one slice of a distributed sweep)
+ * pass through unchanged.  Throws std::invalid_argument if
+ * @p results does not match the plan.
+ */
+std::vector<SweepResult>
+mergeShardResults(const ShardPlan &plan,
+                  const std::vector<SweepResult> &results);
 
 /** Multi-threaded batch runner with ordered, deterministic results. */
 class SweepEngine
@@ -50,6 +95,13 @@ class SweepEngine
      * until the batch drains; rethrows the lowest-index job failure.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /**
+     * Convenience map-reduce: expandShards -> run -> mergeShardResults;
+     * returns one merged result per entry of @p jobs.
+     */
+    std::vector<SweepResult> runSharded(const std::vector<SweepJob> &jobs,
+                                        std::uint32_t shards);
 
     /** The underlying pool, for callers with custom cell loops. */
     ThreadPool &pool() { return _pool; }

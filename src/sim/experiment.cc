@@ -82,25 +82,43 @@ runCellOrDie(const SweepJob &job)
 } // namespace
 
 SimResult
-runFunctional(const std::string &app, const PrefetcherSpec &spec,
+runFunctional(const WorkloadSpec &workload, const PrefetcherSpec &spec,
               std::uint64_t refs, const SimConfig &config)
 {
-    return runCellOrDie(SweepJob::functional(app, spec, refs, config))
+    return runCellOrDie(
+               SweepJob::functional(workload, spec, refs, config))
         .functional;
 }
 
 TimingResult
-runTimed(const std::string &app, const PrefetcherSpec &spec,
+runTimed(const WorkloadSpec &workload, const PrefetcherSpec &spec,
          std::uint64_t refs, const SimConfig &config,
          const TimingConfig &timing)
 {
     return runCellOrDie(
-               SweepJob::timed(app, spec, refs, config, timing))
+               SweepJob::timed(workload, spec, refs, config, timing))
         .timed;
 }
 
+SimResult
+runFunctional(const std::string &workload, const PrefetcherSpec &spec,
+              std::uint64_t refs, const SimConfig &config)
+{
+    return runFunctional(parseWorkloadOrDie(workload), spec, refs,
+                         config);
+}
+
+TimingResult
+runTimed(const std::string &workload, const PrefetcherSpec &spec,
+         std::uint64_t refs, const SimConfig &config,
+         const TimingConfig &timing)
+{
+    return runTimed(parseWorkloadOrDie(workload), spec, refs, config,
+                    timing);
+}
+
 std::vector<AccuracyCell>
-accuracySweep(const std::string &app,
+accuracySweep(const WorkloadSpec &workload,
               const std::vector<PrefetcherSpec> &specs,
               std::uint64_t refs, const SimConfig &config,
               unsigned threads)
@@ -108,10 +126,16 @@ accuracySweep(const std::string &app,
     std::vector<SweepJob> jobs;
     jobs.reserve(specs.size());
     for (const PrefetcherSpec &spec : specs)
-        jobs.push_back(SweepJob::functional(app, spec, refs, config));
+        jobs.push_back(
+            SweepJob::functional(workload, spec, refs, config));
 
     SweepEngine engine(threads);
-    std::vector<SweepResult> results = engine.run(jobs);
+    std::vector<SweepResult> results;
+    try {
+        results = engine.run(jobs);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
 
     std::vector<AccuracyCell> cells;
     cells.reserve(results.size());
@@ -120,6 +144,16 @@ accuracySweep(const std::string &app,
                                      results[i].accuracy(),
                                      results[i].missRate()});
     return cells;
+}
+
+std::vector<AccuracyCell>
+accuracySweep(const std::string &workload,
+              const std::vector<PrefetcherSpec> &specs,
+              std::uint64_t refs, const SimConfig &config,
+              unsigned threads)
+{
+    return accuracySweep(parseWorkloadOrDie(workload), specs, refs,
+                         config, threads);
 }
 
 } // namespace tlbpf

@@ -15,6 +15,7 @@
 #include "sim/functional_sim.hh"
 #include "sim/timing_sim.hh"
 #include "workload/app_registry.hh"
+#include "workload/workload_spec.hh"
 
 namespace tlbpf
 {
@@ -32,14 +33,27 @@ std::vector<PrefetcherSpec> figure7Specs();
 /** Compact comparison set: RP, MP/DP/ASP at r=256 D, s=2 (Table 2). */
 std::vector<PrefetcherSpec> table2Specs();
 
-/** Run one app under one mechanism (functional). */
-SimResult runFunctional(const std::string &app,
+/** Run one workload under one mechanism (functional). */
+SimResult runFunctional(const WorkloadSpec &workload,
                         const PrefetcherSpec &spec, std::uint64_t refs,
                         const SimConfig &config = SimConfig{});
 
-/** Run one app under the timing model. */
-TimingResult runTimed(const std::string &app, const PrefetcherSpec &spec,
-                      std::uint64_t refs,
+/** Run one workload under the timing model. */
+TimingResult runTimed(const WorkloadSpec &workload,
+                      const PrefetcherSpec &spec, std::uint64_t refs,
+                      const SimConfig &config = SimConfig{},
+                      const TimingConfig &timing = TimingConfig{});
+
+/**
+ * String sugar for the entry points above: the text is parsed as a
+ * WorkloadSpec (a bare name denotes a registry app; trace:/mix:/#k/N
+ * all work), with a parse error producing the documented fatal exit.
+ */
+SimResult runFunctional(const std::string &workload,
+                        const PrefetcherSpec &spec, std::uint64_t refs,
+                        const SimConfig &config = SimConfig{});
+TimingResult runTimed(const std::string &workload,
+                      const PrefetcherSpec &spec, std::uint64_t refs,
                       const SimConfig &config = SimConfig{},
                       const TimingConfig &timing = TimingConfig{});
 
@@ -52,13 +66,21 @@ struct AccuracyCell
 };
 
 /**
- * Evaluate @p specs against one app; cells in spec order.  With
+ * Evaluate @p specs against one workload; cells in spec order.  With
  * @p threads > 1 the cells run on a SweepEngine; the output is
  * bit-identical to the serial run (threads == 1) by the engine's
  * determinism contract.  threads == 0 selects hardware concurrency.
  */
 std::vector<AccuracyCell>
-accuracySweep(const std::string &app,
+accuracySweep(const WorkloadSpec &workload,
+              const std::vector<PrefetcherSpec> &specs,
+              std::uint64_t refs,
+              const SimConfig &config = SimConfig{},
+              unsigned threads = 1);
+
+/** String sugar; see runFunctional(const std::string&, ...). */
+std::vector<AccuracyCell>
+accuracySweep(const std::string &workload,
               const std::vector<PrefetcherSpec> &specs,
               std::uint64_t refs,
               const SimConfig &config = SimConfig{},

@@ -99,4 +99,65 @@ simulate(const SimConfig &config, const PrefetcherSpec &spec,
     return sim.result();
 }
 
+void
+addCounters(SimResult &into, const SimResult &from)
+{
+    into.refs += from.refs;
+    into.misses += from.misses;
+    into.pbHits += from.pbHits;
+    into.demandFetches += from.demandFetches;
+    into.prefetchesIssued += from.prefetchesIssued;
+    into.prefetchesSuppressed += from.prefetchesSuppressed;
+    into.stateOps += from.stateOps;
+    into.pbEvictedUnused += from.pbEvictedUnused;
+    into.footprintPages += from.footprintPages;
+    into.contextSwitches += from.contextSwitches;
+}
+
+namespace
+{
+
+/** Field-wise @p end - @p start; valid because every field is monotone. */
+SimResult
+counterDelta(const SimResult &end, const SimResult &start)
+{
+    SimResult delta;
+    delta.refs = end.refs - start.refs;
+    delta.misses = end.misses - start.misses;
+    delta.pbHits = end.pbHits - start.pbHits;
+    delta.demandFetches = end.demandFetches - start.demandFetches;
+    delta.prefetchesIssued =
+        end.prefetchesIssued - start.prefetchesIssued;
+    delta.prefetchesSuppressed =
+        end.prefetchesSuppressed - start.prefetchesSuppressed;
+    delta.stateOps = end.stateOps - start.stateOps;
+    delta.pbEvictedUnused = end.pbEvictedUnused - start.pbEvictedUnused;
+    delta.footprintPages = end.footprintPages - start.footprintPages;
+    delta.contextSwitches = end.contextSwitches - start.contextSwitches;
+    return delta;
+}
+
+} // namespace
+
+SimResult
+simulateWindow(const SimConfig &config, const PrefetcherSpec &spec,
+               RefStream &stream, std::uint64_t skip,
+               std::uint64_t take)
+{
+    FunctionalSimulator sim(config, spec);
+    MemRef ref;
+    std::uint64_t processed = 0;
+    while (processed < skip && stream.next(ref)) {
+        sim.process(ref);
+        ++processed;
+    }
+    SimResult start = sim.result();
+    std::uint64_t end = take > ~0ull - skip ? ~0ull : skip + take;
+    while (processed < end && stream.next(ref)) {
+        sim.process(ref);
+        ++processed;
+    }
+    return counterDelta(sim.result(), start);
+}
+
 } // namespace tlbpf

@@ -135,6 +135,27 @@ class FunctionalSimulator
 SimResult simulate(const SimConfig &config, const PrefetcherSpec &spec,
                    RefStream &stream);
 
+/**
+ * Add every counter of @p from into @p into — the reduce step that
+ * merges sharded cells.  All SimResult fields are monotone counters
+ * (footprintPages and pbEvictedUnused included), so summing the
+ * per-window deltas of a partition of [0, refs) reproduces the
+ * unsharded run's counters bit-for-bit.
+ */
+void addCounters(SimResult &into, const SimResult &from);
+
+/**
+ * Simulate a *window* of @p stream: the first @p skip references warm
+ * the full simulator state by replay (exact, not approximated), the
+ * next @p take references are recorded, and the returned result is
+ * the counter delta over the recorded window.  Used by sharded cells;
+ * shard k of N records window [k*refs/N, (k+1)*refs/N) so that the
+ * merged counters equal the unsharded run exactly.
+ */
+SimResult simulateWindow(const SimConfig &config,
+                         const PrefetcherSpec &spec, RefStream &stream,
+                         std::uint64_t skip, std::uint64_t take);
+
 } // namespace tlbpf
 
 #endif // TLBPF_SIM_FUNCTIONAL_SIM_HH

@@ -1,6 +1,7 @@
 #include "trace/trace_file.hh"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -20,6 +21,24 @@ struct Header
     std::uint32_t version;
     std::uint64_t count;
 };
+
+/**
+ * The one header validator both the probe and the reader use:
+ * "" when @p hdr is valid (@p read_ok says the fread succeeded),
+ * otherwise a description.
+ */
+std::string
+checkHeader(const std::string &path, const Header &hdr, bool read_ok)
+{
+    if (!read_ok)
+        return "trace file '" + path + "' truncated header";
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        return "trace file '" + path + "' has bad magic";
+    if (hdr.version != kVersion)
+        return "trace file '" + path + "' has unsupported version " +
+               std::to_string(hdr.version);
+    return "";
+}
 
 } // namespace
 
@@ -87,13 +106,29 @@ TraceWriter::close()
     _open = false;
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : _path(path)
+TraceReader::TraceReader(const std::string &path, ErrorPolicy policy)
+    : _path(path), _policy(policy)
 {
     _file = std::fopen(path.c_str(), "rb");
     if (!_file)
-        tlbpf_fatal("cannot open trace file '", path, "'");
+        fail("cannot open trace file '" + path + "'");
     readHeader();
+}
+
+void
+TraceReader::fail(const std::string &why)
+{
+    if (_policy == ErrorPolicy::Throw) {
+        // The constructor may throw before the destructor can ever
+        // run; release the handle here so a rejected trace does not
+        // leak one fd per attempted cell.
+        if (_file) {
+            std::fclose(_file);
+            _file = nullptr;
+        }
+        throw std::invalid_argument(why);
+    }
+    tlbpf_fatal(why);
 }
 
 TraceReader::~TraceReader()
@@ -106,13 +141,10 @@ void
 TraceReader::readHeader()
 {
     Header hdr{};
-    if (std::fread(&hdr, sizeof(hdr), 1, _file) != 1)
-        tlbpf_fatal("trace file '", _path, "' truncated header");
-    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
-        tlbpf_fatal("trace file '", _path, "' has bad magic");
-    if (hdr.version != kVersion)
-        tlbpf_fatal("trace file '", _path, "' has unsupported version ",
-                    hdr.version);
+    bool read_ok = std::fread(&hdr, sizeof(hdr), 1, _file) == 1;
+    std::string error = checkHeader(_path, hdr, read_ok);
+    if (!error.empty())
+        fail(error);
     _count = hdr.count;
 }
 
@@ -130,7 +162,7 @@ TraceReader::getVarint(std::uint64_t &v)
             return true;
         shift += 7;
         if (shift > 63)
-            tlbpf_fatal("trace file '", _path, "' has malformed varint");
+            fail("trace file '" + _path + "' has malformed varint");
     }
 }
 
@@ -141,14 +173,14 @@ TraceReader::next(MemRef &ref)
         return false;
     int flags = std::fgetc(_file);
     if (flags == EOF)
-        tlbpf_fatal("trace file '", _path, "' truncated at record ",
-                    _readSoFar);
+        fail("trace file '" + _path + "' truncated at record " +
+             std::to_string(_readSoFar));
     std::uint64_t dv = 0;
     std::uint64_t dp = 0;
     std::uint64_t di = 0;
     if (!getVarint(dv) || !getVarint(dp) || !getVarint(di))
-        tlbpf_fatal("trace file '", _path, "' truncated at record ",
-                    _readSoFar);
+        fail("trace file '" + _path + "' truncated at record " +
+             std::to_string(_readSoFar));
     ref.isWrite = (flags & 1) != 0;
     ref.vaddr = static_cast<Addr>(static_cast<std::int64_t>(_prev.vaddr) +
                                   zigZagDecode(dv));
@@ -173,6 +205,18 @@ std::string
 TraceReader::describe() const
 {
     return "trace(" + _path + ", " + std::to_string(_count) + ")";
+}
+
+std::string
+probeTraceFile(const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return "cannot open trace file '" + path + "'";
+    Header hdr{};
+    bool read_ok = std::fread(&hdr, sizeof(hdr), 1, file) == 1;
+    std::fclose(file);
+    return checkHeader(path, hdr, read_ok);
 }
 
 std::uint64_t

@@ -53,8 +53,22 @@ class TraceWriter
 class TraceReader : public RefStream
 {
   public:
-    /** Open @p path; fatal if missing or malformed. */
-    explicit TraceReader(const std::string &path);
+    /**
+     * What to do about a missing/corrupt file: Fatal exits the
+     * process (the historical behaviour, right for examples and
+     * direct tools); Throw raises std::invalid_argument so engine
+     * worker threads surface a bad trace as a batch failure instead
+     * of exiting mid-pool.
+     */
+    enum class ErrorPolicy
+    {
+        Fatal,
+        Throw
+    };
+
+    /** Open @p path; fatal or throwing per @p policy. */
+    explicit TraceReader(const std::string &path,
+                         ErrorPolicy policy = ErrorPolicy::Fatal);
     ~TraceReader() override;
 
     TraceReader(const TraceReader &) = delete;
@@ -69,9 +83,11 @@ class TraceReader : public RefStream
   private:
     bool getVarint(std::uint64_t &v);
     void readHeader();
+    [[noreturn]] void fail(const std::string &why);
 
     std::FILE *_file = nullptr;
     std::string _path;
+    ErrorPolicy _policy = ErrorPolicy::Fatal;
     std::uint64_t _count = 0;
     std::uint64_t _readSoFar = 0;
     MemRef _prev;
@@ -79,6 +95,15 @@ class TraceReader : public RefStream
 
 /** Copy an entire stream into a trace file; returns records written. */
 std::uint64_t dumpTrace(RefStream &stream, const std::string &path);
+
+/**
+ * Non-fatal validity probe: "" when @p path opens and carries a valid
+ * trace header, otherwise a description of what is wrong.  For tools
+ * and tests that want to check a file without constructing a reader;
+ * the sweep engine itself uses TraceReader's ErrorPolicy::Throw,
+ * which reports the same conditions as std::invalid_argument.
+ */
+std::string probeTraceFile(const std::string &path);
 
 } // namespace tlbpf
 

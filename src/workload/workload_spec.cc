@@ -1,0 +1,462 @@
+#include "workload/workload_spec.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "trace/adaptors.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+#include "workload/app_registry.hh"
+
+namespace tlbpf
+{
+
+namespace
+{
+
+[[noreturn]] void
+malformed(const std::string &text, const std::string &why)
+{
+    throw std::invalid_argument("malformed workload spec '" + text +
+                                "': " + why);
+}
+
+/** Parse a mix quantum: digits with an optional k/m suffix. */
+std::uint64_t
+parseQuantum(const std::string &text, const std::string &whole)
+{
+    if (text.empty())
+        malformed(whole, "mix quantum is empty");
+    std::uint64_t multiplier = 1;
+    std::string digits = text;
+    switch (std::tolower(static_cast<unsigned char>(text.back()))) {
+      case 'k':
+        multiplier = 1000;
+        digits.pop_back();
+        break;
+      case 'm':
+        multiplier = 1000000;
+        digits.pop_back();
+        break;
+      default:
+        break;
+    }
+    if (digits.empty())
+        malformed(whole, "mix quantum '" + text + "' has no digits");
+    std::uint64_t value = 0;
+    for (char c : digits) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            malformed(whole, "mix quantum '" + text +
+                                 "' is not a number");
+        std::uint64_t next = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (next < value)
+            malformed(whole, "mix quantum '" + text + "' overflows");
+        value = next;
+    }
+    if (value == 0 || value > (~0ull) / multiplier)
+        malformed(whole, "mix quantum must be positive and sane, got '" +
+                             text + "'");
+    return value * multiplier;
+}
+
+/** Parse a base-10 uint32 field of a shard suffix. */
+std::uint32_t
+parseShardNumber(const std::string &text, const std::string &whole)
+{
+    if (text.empty())
+        malformed(whole, "shard suffix needs the form #k/N");
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            malformed(whole, "shard field '" + text +
+                                 "' is not a number");
+        value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        if (value > 0xffffffffull)
+            malformed(whole, "shard field '" + text + "' is too large");
+    }
+    return static_cast<std::uint32_t>(value);
+}
+
+WorkloadSpec
+parsePart(const std::string &text, const std::string &whole,
+          bool allow_composite)
+{
+    if (text.empty())
+        malformed(whole, "empty workload");
+
+    std::string body = text;
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+
+    std::size_t hash = body.rfind('#');
+    if (hash != std::string::npos) {
+        if (!allow_composite)
+            malformed(whole, "shard suffixes are not allowed inside "
+                             "mix parts");
+        std::string suffix = body.substr(hash + 1);
+        std::size_t slash = suffix.find('/');
+        if (slash == std::string::npos)
+            malformed(whole, "shard suffix '" + suffix +
+                                 "' needs the form #k/N");
+        shard_index = parseShardNumber(suffix.substr(0, slash), whole);
+        shard_count = parseShardNumber(suffix.substr(slash + 1), whole);
+        if (shard_count == 0)
+            malformed(whole, "shard count must be positive");
+        if (shard_index >= shard_count)
+            malformed(whole, "shard " + std::to_string(shard_index) +
+                                 "/" + std::to_string(shard_count) +
+                                 " is out of range (need k < N)");
+        body = body.substr(0, hash);
+        if (body.empty())
+            malformed(whole, "shard suffix on an empty workload");
+    }
+
+    WorkloadSpec spec;
+    std::size_t colon = body.find(':');
+    if (colon == std::string::npos) {
+        spec = WorkloadSpec::app(body);
+    } else {
+        std::string scheme = body.substr(0, colon);
+        std::string rest = body.substr(colon + 1);
+        if (scheme == "app") {
+            if (rest.empty())
+                malformed(whole, "app: needs a model name");
+            spec = WorkloadSpec::app(rest);
+        } else if (scheme == "trace") {
+            if (rest.empty())
+                malformed(whole, "trace: needs a file path");
+            spec = WorkloadSpec::trace(rest);
+        } else if (scheme == "mix") {
+            if (!allow_composite)
+                malformed(whole, "mixes cannot nest");
+            std::size_t at = rest.rfind('@');
+            if (at == std::string::npos)
+                malformed(whole,
+                          "mix needs a context-switch quantum "
+                          "(mix:a+b@100k)");
+            std::uint64_t quantum =
+                parseQuantum(rest.substr(at + 1), whole);
+            std::string part_list = rest.substr(0, at);
+            std::vector<WorkloadSpec> parts;
+            std::string token;
+            for (std::size_t i = 0; i <= part_list.size(); ++i) {
+                if (i == part_list.size() || part_list[i] == '+') {
+                    if (token.empty())
+                        malformed(whole, "mix has an empty part");
+                    parts.push_back(parsePart(token, whole, false));
+                    token.clear();
+                    continue;
+                }
+                token.push_back(part_list[i]);
+            }
+            if (parts.size() < 2)
+                malformed(whole, "mix needs at least two parts, got " +
+                                     std::to_string(parts.size()));
+            spec = WorkloadSpec::mix(std::move(parts), quantum);
+        } else {
+            malformed(whole, "unknown workload scheme '" + scheme +
+                                 ":' (expected app:, trace: or mix:)");
+        }
+    }
+
+    spec.shardIndex = shard_index;
+    spec.shardCount = shard_count;
+    return spec;
+}
+
+std::string
+quantumLabel(std::uint64_t quantum)
+{
+    if (quantum % 1000000 == 0)
+        return std::to_string(quantum / 1000000) + "m";
+    if (quantum % 1000 == 0)
+        return std::to_string(quantum / 1000) + "k";
+    return std::to_string(quantum);
+}
+
+/**
+ * The multi-programmed interleaver: schedules its parts round-robin,
+ * `quantum` references per slice, in disjoint address spaces, with a
+ * single global (monotone) instruction counter accumulated from each
+ * part's own instruction progress — the stream a time-shared CPU
+ * would observe.  Ends when every part is exhausted.
+ */
+class MixStream : public RefStream
+{
+  public:
+    MixStream(std::vector<std::unique_ptr<RefStream>> parts,
+              std::uint64_t quantum, std::string label)
+        : _parts(std::move(parts)), _quantum(quantum),
+          _label(std::move(label)), _done(_parts.size(), false),
+          _prevIcount(_parts.size(), 0)
+    {
+        tlbpf_assert(_quantum > 0, "mix quantum must be positive");
+        tlbpf_assert(_parts.size() >= 2, "mix needs >= 2 parts");
+    }
+
+    bool
+    next(MemRef &ref) override
+    {
+        std::size_t exhausted = 0;
+        while (exhausted < _parts.size()) {
+            if (_done[_cursor]) {
+                rotate();
+                ++exhausted;
+                continue;
+            }
+            MemRef inner;
+            if (!_parts[_cursor]->next(inner)) {
+                _done[_cursor] = true;
+                rotate();
+                ++exhausted;
+                continue;
+            }
+            Addr offset = static_cast<Addr>(_cursor) * kMixAddressStride;
+            ref = inner;
+            ref.vaddr += offset;
+            ref.pc += offset;
+            _globalIcount += inner.icount - _prevIcount[_cursor];
+            _prevIcount[_cursor] = inner.icount;
+            ref.icount = _globalIcount;
+            if (++_emitted >= _quantum)
+                rotate();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    reset() override
+    {
+        for (auto &part : _parts)
+            part->reset();
+        std::fill(_done.begin(), _done.end(), false);
+        std::fill(_prevIcount.begin(), _prevIcount.end(), 0);
+        _cursor = 0;
+        _emitted = 0;
+        _globalIcount = 0;
+    }
+
+    std::string describe() const override { return _label; }
+
+  private:
+    void
+    rotate()
+    {
+        _cursor = (_cursor + 1) % _parts.size();
+        _emitted = 0;
+    }
+
+    std::vector<std::unique_ptr<RefStream>> _parts;
+    std::uint64_t _quantum;
+    std::string _label;
+    std::vector<bool> _done;
+    std::vector<std::uint64_t> _prevIcount;
+    std::size_t _cursor = 0;
+    std::uint64_t _emitted = 0;
+    std::uint64_t _globalIcount = 0;
+};
+
+} // namespace
+
+WorkloadSpec
+WorkloadSpec::app(std::string name)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::App;
+    spec.appName = std::move(name);
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::trace(std::string path)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::Trace;
+    spec.tracePath = std::move(path);
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::mix(std::vector<WorkloadSpec> mix_parts,
+                  std::uint64_t quantum)
+{
+    WorkloadSpec spec;
+    spec.kind = Kind::Mix;
+    spec.parts = std::move(mix_parts);
+    spec.quantum = quantum;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::withShard(std::uint32_t k, std::uint32_t n) const
+{
+    if (n == 0)
+        throw std::invalid_argument("shard count must be positive");
+    if (k >= n)
+        throw std::invalid_argument(
+            "shard " + std::to_string(k) + "/" + std::to_string(n) +
+            " is out of range (need k < N)");
+    WorkloadSpec spec = *this;
+    spec.shardIndex = n == 1 ? 0 : k;
+    spec.shardCount = n;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::base() const
+{
+    WorkloadSpec spec = *this;
+    spec.shardIndex = 0;
+    spec.shardCount = 1;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::parse(const std::string &text)
+{
+    WorkloadSpec spec = parsePart(text, text, true);
+    spec.validate();
+    return spec;
+}
+
+std::string
+WorkloadSpec::label() const
+{
+    std::string core;
+    switch (kind) {
+      case Kind::App:
+        core = appName;
+        break;
+      case Kind::Trace:
+        core = "trace:" + tracePath;
+        break;
+      case Kind::Mix:
+        core = "mix:";
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            if (i > 0)
+                core += '+';
+            core += parts[i].label();
+        }
+        core += '@';
+        core += quantumLabel(quantum);
+        break;
+    }
+    if (sharded()) {
+        core += '#';
+        core += std::to_string(shardIndex);
+        core += '/';
+        core += std::to_string(shardCount);
+    }
+    return core;
+}
+
+void
+WorkloadSpec::validate() const
+{
+    if (shardCount == 0)
+        throw std::invalid_argument("workload '" + label() +
+                                    "' has a zero shard count");
+    if (shardIndex >= shardCount)
+        throw std::invalid_argument(
+            "workload '" + label() + "' shard index " +
+            std::to_string(shardIndex) + " is out of range (N = " +
+            std::to_string(shardCount) + ")");
+    switch (kind) {
+      case Kind::App:
+        if (appName.empty())
+            throw std::invalid_argument(
+                "workload has an empty application name");
+        break;
+      case Kind::Trace:
+        if (tracePath.empty())
+            throw std::invalid_argument(
+                "workload has an empty trace path");
+        break;
+      case Kind::Mix:
+        if (parts.size() < 2)
+            throw std::invalid_argument(
+                "mix workload '" + label() +
+                "' needs at least two parts");
+        if (quantum == 0)
+            throw std::invalid_argument(
+                "mix workload '" + label() +
+                "' needs a positive quantum");
+        for (const WorkloadSpec &part : parts) {
+            if (part.kind == Kind::Mix)
+                throw std::invalid_argument(
+                    "mix workload '" + label() + "' nests a mix");
+            if (part.sharded())
+                throw std::invalid_argument(
+                    "mix workload '" + label() +
+                    "' shards an inner part");
+            part.validate();
+        }
+        break;
+    }
+}
+
+std::unique_ptr<RefStream>
+WorkloadSpec::build(std::uint64_t refs) const
+{
+    validate();
+    if (refs == 0)
+        throw std::invalid_argument(
+            "workload '" + label() +
+            "' needs a positive reference budget");
+    switch (kind) {
+      case Kind::App: {
+          const AppModel *model = findAppOrNull(appName);
+          if (!model)
+              throw std::invalid_argument(
+                  "unknown application model '" + appName + "'");
+          return buildApp(*model, refs);
+      }
+      case Kind::Trace: {
+          // Throw-policy reader: corruption discovered mid-replay
+          // (truncated body, malformed varint) also surfaces as
+          // std::invalid_argument, never a worker-thread exit.
+          return std::make_unique<TakeStream>(
+              std::make_unique<TraceReader>(
+                  tracePath, TraceReader::ErrorPolicy::Throw),
+              refs);
+      }
+      case Kind::Mix: {
+          std::vector<std::unique_ptr<RefStream>> streams;
+          streams.reserve(parts.size());
+          for (const WorkloadSpec &part : parts)
+              streams.push_back(part.build(refs));
+          return std::make_unique<TakeStream>(
+              std::make_unique<MixStream>(std::move(streams), quantum,
+                                          base().label()),
+              refs);
+      }
+    }
+    throw std::invalid_argument("workload '" + label() +
+                                "' has an unknown kind");
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+WorkloadSpec::shardWindow(std::uint64_t refs) const
+{
+    std::uint64_t size = refs / shardCount;
+    std::uint64_t remainder = refs % shardCount;
+    std::uint64_t begin =
+        shardIndex * size +
+        std::min<std::uint64_t>(shardIndex, remainder);
+    std::uint64_t end = begin + size + (shardIndex < remainder ? 1 : 0);
+    return {begin, end};
+}
+
+WorkloadSpec
+parseWorkloadOrDie(const std::string &text)
+{
+    try {
+        return WorkloadSpec::parse(text);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
+}
+
+} // namespace tlbpf

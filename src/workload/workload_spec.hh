@@ -1,0 +1,133 @@
+/**
+ * @file
+ * First-class workload addressing: the WorkloadSpec value type.
+ *
+ * Every experiment cell needs to name "what reference stream am I
+ * simulating?".  Historically that was a bare registry app name; a
+ * WorkloadSpec generalises it to a small tagged grammar that covers
+ * everything the sweep layer can drive:
+ *
+ *   mcf                      registry app (canonical form; "app:mcf"
+ *                            is accepted as input sugar)
+ *   trace:path/to/file.tpf   binary trace file replayed from disk
+ *   mix:mcf+gcc@100k         multi-programmed mix: the parts run in
+ *                            disjoint address spaces and are
+ *                            interleaved every <quantum> references
+ *                            (quantum suffixes: k = 1e3, m = 1e6)
+ *   <spec>#k/N               shard k of N: the cell simulates the
+ *                            whole stream but records only its slice
+ *                            of the reference window, so N merged
+ *                            shards are bit-identical to the
+ *                            unsharded run
+ *
+ * parse() and label() round-trip: parse(s.label()) == s for every
+ * valid spec, so a spec can travel through CLI flags, CSV/JSON sinks
+ * and determinism tests unchanged.  Syntax errors throw
+ * std::invalid_argument (parse is pure syntax; whether an app or
+ * trace file actually exists is checked by build()).
+ */
+
+#ifndef TLBPF_WORKLOAD_WORKLOAD_SPEC_HH
+#define TLBPF_WORKLOAD_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/ref_stream.hh"
+
+namespace tlbpf
+{
+
+/**
+ * Virtual-address stride separating the parts of a mix: part i's
+ * references are offset by i * kMixAddressStride, so interleaved
+ * address spaces never collide (the paper's multi-programmed setting).
+ */
+constexpr Addr kMixAddressStride = 1ull << 44;
+
+/** A workload denotation: registry app, trace file, or mix; optionally sharded. */
+struct WorkloadSpec
+{
+    enum class Kind
+    {
+        App,   ///< synthetic registry model, by name
+        Trace, ///< binary .tpf trace file, by path
+        Mix    ///< multi-programmed interleaving of inner specs
+    };
+
+    Kind kind = Kind::App;
+    std::string appName;            ///< Kind::App: registry model name
+    std::string tracePath;          ///< Kind::Trace: file path
+    std::vector<WorkloadSpec> parts;///< Kind::Mix: >= 2 App/Trace specs
+    std::uint64_t quantum = 0;      ///< Kind::Mix: refs per schedule slice
+
+    std::uint32_t shardIndex = 0;   ///< k in [0, shardCount)
+    std::uint32_t shardCount = 1;   ///< N >= 1; 1 means unsharded
+
+    /** Registry-app spec. */
+    static WorkloadSpec app(std::string name);
+    /** Trace-file spec. */
+    static WorkloadSpec trace(std::string path);
+    /** Mix spec over >= 2 App/Trace parts at @p quantum refs/slice. */
+    static WorkloadSpec mix(std::vector<WorkloadSpec> mix_parts,
+                            std::uint64_t quantum);
+
+    /** Copy of this spec denoting shard @p k of @p n. */
+    WorkloadSpec withShard(std::uint32_t k, std::uint32_t n) const;
+
+    /** Copy of this spec with sharding stripped. */
+    WorkloadSpec base() const;
+
+    bool sharded() const { return shardCount > 1; }
+
+    /**
+     * Parse the textual grammar above; throws std::invalid_argument
+     * with a description on malformed input.
+     */
+    static WorkloadSpec parse(const std::string &text);
+
+    /** Canonical textual form; parse(label()) reproduces this spec. */
+    std::string label() const;
+
+    /**
+     * Check structural validity (non-empty names, >= 2 mix parts,
+     * positive quantum, shardIndex < shardCount, no nested mixes);
+     * throws std::invalid_argument on violation.
+     */
+    void validate() const;
+
+    /**
+     * Build the ready-to-simulate stream for this spec, truncated to
+     * at most @p refs references (a shorter trace ends earlier).
+     * Sharding does not change the stream — a shard simulates the
+     * full stream and windows its *counters* — so build() always
+     * returns the base stream.  Throws std::invalid_argument for an
+     * unknown app, an unreadable/invalid trace file, or a structural
+     * error, so engine worker threads surface bad workloads as batch
+     * failures instead of exiting mid-pool.
+     */
+    std::unique_ptr<RefStream> build(std::uint64_t refs) const;
+
+    /**
+     * Half-open counter-recording window [begin, end) of this shard
+     * within a @p refs-reference run.  Windows of all N shards
+     * partition [0, refs), sized within one reference of each other.
+     */
+    std::pair<std::uint64_t, std::uint64_t>
+    shardWindow(std::uint64_t refs) const;
+
+    bool operator==(const WorkloadSpec &other) const = default;
+};
+
+/**
+ * parse() for bench/CLI entry points: converts a syntax error into
+ * the documented clean fatal exit instead of an exception.
+ */
+WorkloadSpec parseWorkloadOrDie(const std::string &text);
+
+} // namespace tlbpf
+
+#endif // TLBPF_WORKLOAD_WORKLOAD_SPEC_HH

@@ -3,8 +3,10 @@
  * Determinism guard: with a fixed workload seed, the functional and
  * timing simulators must produce bit-identical statistics across
  * repeated runs — and, since the sweep engine landed, across any
- * thread count: a mixed functional/timing batch must yield identical
- * counters and identical CSV bytes at 1, 4 and 8 threads.
+ * thread count: a mixed functional/timing batch (registry apps,
+ * trace-file workloads, multi-programmed mixes and sharded cells
+ * alike) must yield identical counters and identical CSV bytes at
+ * 1, 4 and 8 threads.
  */
 
 #include <gtest/gtest.h>
@@ -93,8 +95,9 @@ TEST(Determinism, TimedRunsAreBitIdentical)
 
 /**
  * A mixed functional/timing batch covering every mechanism class,
- * several geometries and an ablation flag — the shape of a real
- * figure regeneration.
+ * several geometries, an ablation flag, and every workload kind
+ * (registry app, trace file, multi-programmed mix, sharded cell) —
+ * the shape of a real figure regeneration.
  */
 std::vector<SweepJob>
 mixedJobBatch()
@@ -102,19 +105,33 @@ mixedJobBatch()
     std::vector<SweepJob> jobs;
     for (const char *app : {"gcc", "mcf", "galgel"})
         for (const PrefetcherSpec &spec : table2Specs())
-            jobs.push_back(SweepJob::functional(app, spec, kRefs));
+            jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
+                                                spec, kRefs));
 
     PrefetcherSpec dp;
     dp.scheme = Scheme::DP;
     SimConfig flushing;
     flushing.contextSwitchInterval = 10000;
-    jobs.push_back(SweepJob::functional("swim", dp, kRefs, flushing));
+    jobs.push_back(SweepJob::functional(WorkloadSpec::app("swim"), dp,
+                                        kRefs, flushing));
+
+    // Trace-file, mix and sharded workload cells.
+    jobs.push_back(SweepJob::functional(
+        WorkloadSpec::trace(std::string(TLBPF_TEST_DATA_DIR) +
+                            "/sample.tpf"),
+        dp, kRefs));
+    jobs.push_back(SweepJob::functional(
+        WorkloadSpec::parse("mix:mcf+gcc@1k"), dp, kRefs, flushing));
+    for (std::uint32_t k = 0; k < 3; ++k)
+        jobs.push_back(SweepJob::functional(
+            WorkloadSpec::app("galgel").withShard(k, 3), dp, kRefs));
 
     for (Scheme scheme : {Scheme::None, Scheme::RP, Scheme::DP}) {
         PrefetcherSpec spec;
         spec.scheme = scheme;
         spec.table = TableConfig{256, TableAssoc::Direct};
-        jobs.push_back(SweepJob::timed("ammp", spec, kRefs));
+        jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"), spec,
+                                       kRefs));
     }
     return jobs;
 }
@@ -141,7 +158,7 @@ csvBytes(const std::vector<SweepJob> &jobs,
     csv.header({"app", "mechanism", "accuracy", "miss_rate",
                 "cycles"});
     for (std::size_t i = 0; i < results.size(); ++i) {
-        csv.row({jobs[i].app, jobs[i].spec.label(),
+        csv.row({results[i].workload, jobs[i].spec.label(),
                  TablePrinter::num(results[i].accuracy(), 6),
                  TablePrinter::num(results[i].missRate(), 6),
                  TablePrinter::num(static_cast<std::uint64_t>(
@@ -164,7 +181,8 @@ TEST(ParallelDeterminism, ThreadCountDoesNotChangeStats)
         ASSERT_EQ(parallel.size(), serial.size());
         for (std::size_t i = 0; i < serial.size(); ++i)
             EXPECT_EQ(counters(serial[i]), counters(parallel[i]))
-                << "cell " << i << " (" << jobs[i].app << " under "
+                << "cell " << i << " (" << jobs[i].workload.label()
+                << " under "
                 << jobs[i].spec.label() << ") at " << threads
                 << " threads";
     }

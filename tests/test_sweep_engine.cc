@@ -2,7 +2,9 @@
  * @file
  * Unit tests for the parallel sweep engine and its thread pool:
  * submission-order results, empty/single batches, exception
- * propagation from failing jobs, and the ResultSink renderers.
+ * propagation from failing jobs (including bad workloads surfacing
+ * as a clean fatal at the bench boundary instead of an abort from a
+ * worker), and the ResultSink renderers.
  */
 
 #include <gtest/gtest.h>
@@ -14,6 +16,7 @@
 #include "run/result_sink.hh"
 #include "run/sweep_engine.hh"
 #include "sim/experiment.hh"
+#include "util/logging.hh"
 
 namespace tlbpf
 {
@@ -28,10 +31,12 @@ mixedBatch()
     std::vector<SweepJob> jobs;
     for (const char *app : {"gcc", "mcf", "swim"})
         for (const PrefetcherSpec &spec : table2Specs())
-            jobs.push_back(SweepJob::functional(app, spec, kRefs));
+            jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
+                                                spec, kRefs));
     PrefetcherSpec rp;
     rp.scheme = Scheme::RP;
-    jobs.push_back(SweepJob::timed("ammp", rp, kRefs));
+    jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"), rp,
+                                   kRefs));
     return jobs;
 }
 
@@ -97,7 +102,8 @@ TEST(SweepEngine, SingleJobMatchesDirectRun)
     dp.scheme = Scheme::DP;
     SweepEngine engine(4);
     std::vector<SweepResult> results =
-        engine.run({SweepJob::functional("gcc", dp, kRefs)});
+        engine.run({SweepJob::functional(WorkloadSpec::app("gcc"),
+                                         dp, kRefs)});
     ASSERT_EQ(results.size(), 1u);
     SimResult direct = runFunctional("gcc", dp, kRefs);
     EXPECT_EQ(results[0].functional.misses, direct.misses);
@@ -134,9 +140,10 @@ TEST(SweepEngine, ZeroRefJobThrowsFromWorker)
     PrefetcherSpec dp;
     dp.scheme = Scheme::DP;
     std::vector<SweepJob> jobs = {
-        SweepJob::functional("gcc", dp, kRefs),
-        SweepJob::functional("mcf", dp, 0), // malformed
-        SweepJob::functional("swim", dp, kRefs),
+        SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs),
+        SweepJob::functional(WorkloadSpec::app("mcf"), dp,
+                             0), // malformed
+        SweepJob::functional(WorkloadSpec::app("swim"), dp, kRefs),
     };
     SweepEngine engine(4);
     EXPECT_THROW(engine.run(jobs), std::invalid_argument);
@@ -148,8 +155,60 @@ TEST(SweepEngine, UnknownAppThrowsFromWorker)
     dp.scheme = Scheme::DP;
     SweepEngine engine(2);
     EXPECT_THROW(
-        engine.run({SweepJob::functional("no-such-app", dp, kRefs)}),
+        engine.run({SweepJob::functional(
+            WorkloadSpec::app("no-such-app"), dp, kRefs)}),
         std::invalid_argument);
+}
+
+TEST(SweepEngine, BadWorkloadsInsideABatchThrowAfterTheBatchDrains)
+{
+    // Every flavour of bad workload must come back as the engine's
+    // std::invalid_argument — never a process exit from a worker
+    // thread — even when sandwiched between healthy cells.
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    for (const char *bad :
+         {"no-such-app", "trace:/nonexistent/trace.tpf",
+          "mix:gcc+no-such-app@1k"}) {
+        std::vector<SweepJob> jobs = {
+            SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs),
+            SweepJob::functional(WorkloadSpec::parse(bad), dp, kRefs),
+            SweepJob::functional(WorkloadSpec::app("swim"), dp, kRefs),
+        };
+        SweepEngine engine(4);
+        EXPECT_THROW(engine.run(jobs), std::invalid_argument) << bad;
+    }
+}
+
+/** The bench boundary: engine exception -> tlbpf_fatal. */
+void
+runBatchAtBenchBoundary()
+{
+    PrefetcherSpec dp;
+    dp.scheme = Scheme::DP;
+    std::vector<SweepJob> jobs;
+    jobs.push_back(
+        SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs));
+    jobs.push_back(SweepJob::functional(
+        WorkloadSpec::app("no-such-app"), dp, kRefs));
+    SweepEngine engine(4);
+    try {
+        engine.run(jobs);
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
+    std::exit(2); // not reached
+}
+
+TEST(SweepEngine, BenchBoundaryConvertsBatchFailureToCleanFatalExit)
+{
+    // The bench binaries catch the engine's exception and
+    // tlbpf_fatal from the main thread — the documented clean
+    // fatal exit (code 1 with the offending workload named), not an
+    // abort mid-pool.
+    EXPECT_EXIT(runBatchAtBenchBoundary(),
+                ::testing::ExitedWithCode(1),
+                "unknown application model");
 }
 
 TEST(ResultSink, CsvQuotingAndLayout)

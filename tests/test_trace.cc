@@ -215,6 +215,77 @@ TEST_F(TraceFileTest, DumpTraceCopiesWholeStream)
     EXPECT_EQ(collect(reader).size(), 3u);
 }
 
+TEST_F(TraceFileTest, ProbeReportsProblemsWithoutExiting)
+{
+    EXPECT_NE(probeTraceFile("/nonexistent/trace.tpft"), "");
+    {
+        std::FILE *f = std::fopen(_path.c_str(), "wb");
+        std::fputs("NOT A TRACE FILE AT ALL BUT LONG ENOUGH....", f);
+        std::fclose(f);
+    }
+    EXPECT_NE(probeTraceFile(_path), "");
+    {
+        TraceWriter writer(_path);
+        writer.write(ref(1));
+    }
+    EXPECT_EQ(probeTraceFile(_path), "");
+}
+
+/**
+ * The committed sample trace (tests/data/sample.tpf) that CI uses for
+ * trace-backed WorkloadSpecs: it must decode, and re-encoding its
+ * records must reproduce the committed bytes exactly (the writer
+ * round-trip guard for the on-disk format).
+ */
+class SampleTraceTest : public ::testing::Test
+{
+  protected:
+    static std::string samplePath()
+    {
+        return std::string(TLBPF_TEST_DATA_DIR) + "/sample.tpf";
+    }
+
+    static std::string
+    fileBytes(const std::string &path)
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        EXPECT_NE(f, nullptr) << path;
+        std::string bytes;
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            bytes.push_back(static_cast<char>(c));
+        std::fclose(f);
+        return bytes;
+    }
+};
+
+TEST_F(SampleTraceTest, DecodesAFewHundredRefs)
+{
+    ASSERT_EQ(probeTraceFile(samplePath()), "");
+    TraceReader reader(samplePath());
+    auto refs = collect(reader);
+    EXPECT_EQ(refs.size(), reader.count());
+    EXPECT_GE(refs.size(), 200u);
+    EXPECT_LE(refs.size(), 2000u);
+    // icounts are monotone, as the simulators assume.
+    for (std::size_t i = 1; i < refs.size(); ++i)
+        ASSERT_GE(refs[i].icount, refs[i - 1].icount) << i;
+}
+
+TEST_F(SampleTraceTest, WriterRoundTripReproducesCommittedBytes)
+{
+    TraceReader reader(samplePath());
+    auto refs = collect(reader);
+    std::string rewritten = ::testing::TempDir() + "sample_rt.tpf";
+    {
+        TraceWriter writer(rewritten);
+        for (const MemRef &r : refs)
+            writer.write(r);
+    }
+    EXPECT_EQ(fileBytes(rewritten), fileBytes(samplePath()));
+    std::remove(rewritten.c_str());
+}
+
 TEST_F(TraceFileTest, MissingFileIsFatal)
 {
     EXPECT_EXIT({ TraceReader reader("/nonexistent/trace.tpft"); },
