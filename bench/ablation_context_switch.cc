@@ -19,7 +19,8 @@
  *
  * Usage: ablation_context_switch [--refs N] [--threads N] [--shards N]
  *                                [--csv out.csv] [--json out.json]
- *                                [--workload spec,...]
+ *                                [--workload spec,...] [--mech spec,...]
+ *                                [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -35,7 +36,9 @@ main(int argc, char **argv)
     BenchOptions options = parseBenchOptions(argc, argv);
 
     const std::uint64_t intervals[] = {0, 500000, 100000, 20000};
-    const Scheme schemes[] = {Scheme::DP, Scheme::RP, Scheme::MP};
+    std::vector<MechanismSpec> mechs = selectedMechanisms(
+        options,
+        std::vector<std::string>{"DP,256,D", "RP", "MP,256,D"});
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, highMissRateApps());
 
@@ -43,14 +46,10 @@ main(int argc, char **argv)
                 "%llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // One batch over the full grid, scheme-major then workload then
+    // One batch over the full grid, mechanism-major then workload then
     // interval, mirroring the rendering order below.
     std::vector<SweepJob> jobs;
-    for (Scheme scheme : schemes) {
-        PrefetcherSpec spec;
-        spec.scheme = scheme;
-        spec.table = TableConfig{256, TableAssoc::Direct};
-        spec.slots = 2;
+    for (const MechanismSpec &spec : mechs) {
         for (const WorkloadSpec &workload : workloads) {
             for (std::uint64_t interval : intervals) {
                 SimConfig config;
@@ -68,9 +67,10 @@ main(int argc, char **argv)
         records.header({"scheme", "workload", "interval",
                         "accuracy"});
 
+    std::vector<std::string> names = mechanismColumnLabels(mechs);
     std::size_t cell = 0;
-    for (Scheme scheme : schemes) {
-        TableSink out("--- " + schemeName(scheme) +
+    for (std::size_t m = 0; m < mechs.size(); ++m) {
+        TableSink out("--- " + names[m] +
                       " accuracy vs context-switch interval ---");
         out.header({"workload", "no switch", "every 500k",
                     "every 100k", "every 20k"});
@@ -80,7 +80,7 @@ main(int argc, char **argv)
                 const SweepResult &r = results[cell++];
                 row.push_back(TablePrinter::num(r.accuracy(), 3));
                 if (!records.empty())
-                    records.row({schemeName(scheme), r.workload,
+                    records.row({names[m], r.workload,
                                  TablePrinter::num(interval),
                                  TablePrinter::num(r.accuracy(), 6)});
             }

@@ -12,6 +12,7 @@
  *
  * Usage: ablation_feed [--refs N] [--threads N] [--csv out.csv]
  *                      [--json out.json] [--workload spec,...]
+ *                      [--mech spec,...] [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -30,19 +31,17 @@ main(int argc, char **argv)
                 "training (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    const Scheme schemes[] = {Scheme::DP, Scheme::ASP, Scheme::MP};
+    std::vector<MechanismSpec> mechs = selectedMechanisms(
+        options,
+        std::vector<std::string>{"DP,256,D", "ASP,256,D", "MP,256,D"});
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, highMissRateApps());
 
-    // Workload-major, then scheme, then (miss-only, full-feed),
+    // Workload-major, then mechanism, then (miss-only, full-feed),
     // matching the table's column order.
     std::vector<SweepJob> jobs;
     for (const WorkloadSpec &workload : workloads) {
-        for (Scheme scheme : schemes) {
-            PrefetcherSpec spec;
-            spec.scheme = scheme;
-            spec.table = TableConfig{256, TableAssoc::Direct};
-            spec.slots = 2;
+        for (const MechanismSpec &spec : mechs) {
             SimConfig miss_only;
             SimConfig full_feed;
             full_feed.trainOnAllRefs = true;
@@ -56,9 +55,14 @@ main(int argc, char **argv)
     }
     std::vector<SweepResult> results = runBatch(options, jobs);
 
+    std::vector<std::string> names = mechanismColumnLabels(mechs);
     TableSink out("prediction accuracy under each training feed");
-    out.header({"workload", "DP miss", "DP full", "ASP miss",
-                "ASP full", "MP miss", "MP full"});
+    std::vector<std::string> header = {"workload"};
+    for (const std::string &name : names) {
+        header.push_back(name + " miss");
+        header.push_back(name + " full");
+    }
+    out.header(header);
     MultiSink records = recordSinks(options);
     if (!records.empty())
         records.header({"workload", "scheme", "feed", "accuracy"});
@@ -66,15 +70,15 @@ main(int argc, char **argv)
     std::size_t cell = 0;
     for (const WorkloadSpec &workload : workloads) {
         std::vector<std::string> row = {workload.label()};
-        for (Scheme scheme : schemes) {
+        for (std::size_t m = 0; m < mechs.size(); ++m) {
             const SweepResult &miss = results[cell++];
             const SweepResult &full = results[cell++];
             row.push_back(TablePrinter::num(miss.accuracy(), 3));
             row.push_back(TablePrinter::num(full.accuracy(), 3));
             if (!records.empty()) {
-                records.row({miss.workload, schemeName(scheme), "miss",
+                records.row({miss.workload, names[m], "miss",
                              TablePrinter::num(miss.accuracy(), 6)});
-                records.row({full.workload, schemeName(scheme), "full",
+                records.row({full.workload, names[m], "full",
                              TablePrinter::num(full.accuracy(), 6)});
             }
         }

@@ -10,8 +10,17 @@
  *   DP+PC     — index by hash(PC, distance)
  *   DP+2dist  — index by hash(previous distance, current distance)
  *
- * Usage: ablation_indexing [--refs N] [--threads N] [--csv out.csv]
- *                          [--json out.json] [--workload spec,...]
+ * The experimental predictor is registered with the open
+ * MechanismRegistry at startup as `dpx(rows=...,slots=...,index=
+ * dist|pc|2dist)` — through the same public add() any plugin would
+ * use, with no edits to the core prefetch tree — so the cells run as
+ * ordinary SweepJobs and --mech can mix dpx variants with the stock
+ * mechanisms (e.g. --mech 'dpx(index=pc),DP,256,D').
+ *
+ * Usage: ablation_indexing [--refs N] [--threads N] [--shards N]
+ *                          [--csv out.csv] [--json out.json]
+ *                          [--workload spec,...] [--mech spec,...]
+ *                          [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -148,44 +157,44 @@ class IndexedDistancePrefetcher : public Prefetcher
     bool _hasPrevDist = false;
 };
 
-double
-runVariant(const WorkloadSpec &workload, IndexMode mode,
-           std::uint64_t refs)
+/**
+ * Register dpx with the open registry — the bench-local proof that a
+ * mechanism variant needs no edits to the core prefetch tree.
+ */
+void
+registerDpx()
 {
-    SimConfig config;
-    Tlb tlb(config.tlb);
-    PrefetchBuffer buffer(config.pbEntries);
-    IndexedDistancePrefetcher prefetcher(
-        TableConfig{256, TableAssoc::Direct}, 2, mode);
-
-    auto stream = workload.build(refs);
-    MemRef ref;
-    PrefetchDecision decision;
-    std::uint64_t misses = 0;
-    std::uint64_t pb_hits = 0;
-    while (stream->next(ref)) {
-        Vpn vpn = ref.vpn();
-        if (tlb.access(vpn))
-            continue;
-        ++misses;
-        Tick ready = 0;
-        bool hit = buffer.hitAndPromote(vpn, ready);
-        pb_hits += hit;
-        std::optional<Vpn> evicted = tlb.insert(vpn);
-        decision.clear();
-        prefetcher.onMiss(
-            TlbMiss{vpn, ref.pc, hit, evicted.value_or(kNoPage)},
-            decision);
-        for (Vpn target : decision.targets) {
-            if (target == vpn || tlb.contains(target) ||
-                buffer.contains(target))
-                continue;
-            buffer.insert(target, 0);
-        }
-    }
-    return misses ? static_cast<double>(pb_hits) /
-                        static_cast<double>(misses)
-                  : 0.0;
+    MechanismEntry dpx;
+    dpx.name = "dpx";
+    dpx.shortName = "DPx";
+    dpx.summary = "experimental distance predictor with pluggable "
+                  "index construction (dist/pc/2dist)";
+    dpx.params = {
+        MechParam::makeUInt("rows", "prediction-table rows", 256, 1,
+                            1u << 20),
+        MechParam::makeUInt("slots", "prediction slots per row", 2, 1,
+                            8),
+        MechParam::makeChoice(
+            "index", "table index: dist (the paper's DP), pc, 2dist",
+            {"dist", "pc", "2dist"}, {{"distance", "dist"}}),
+    };
+    dpx.build = [](const MechanismSpec &spec, PageTable &) {
+        const std::string &index = spec.choiceParam("index");
+        IndexMode mode = index == "pc" ? IndexMode::PcDistance
+                         : index == "2dist" ? IndexMode::TwoDistances
+                                            : IndexMode::Distance;
+        return std::unique_ptr<Prefetcher>(
+            std::make_unique<IndexedDistancePrefetcher>(
+                TableConfig{
+                    static_cast<std::uint32_t>(spec.uintParam("rows")),
+                    TableAssoc::Direct},
+                static_cast<std::uint32_t>(spec.uintParam("slots")),
+                mode));
+    };
+    dpx.legend = [](const MechanismSpec &spec) {
+        return spec.canonical();
+    };
+    MechanismRegistry::instance().add(std::move(dpx));
 }
 
 } // namespace
@@ -193,51 +202,48 @@ runVariant(const WorkloadSpec &workload, IndexMode mode,
 int
 main(int argc, char **argv)
 {
+    registerDpx();
     BenchOptions options = parseBenchOptions(argc, argv);
 
     std::printf("=== Ablation A2: DP table-indexing variants "
                 "(refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // The experimental prefetcher is not a factory Scheme, so the
-    // cells cannot be SweepJobs; fan the workload × mode grid out on
-    // the engine's thread pool directly, each cell writing its own
-    // slot.  build() throws from the workers; the catch below turns
-    // that into the documented clean fatal exit.
+    // With dpx registered, the variant cells are ordinary SweepJobs:
+    // the workload × mechanism grid is one engine batch, --shards and
+    // --mech both work.
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, highMissRateApps());
-    requireUnshardedWorkloads(options, workloads, "ablation_indexing");
-    const IndexMode modes[] = {IndexMode::Distance,
-                               IndexMode::PcDistance,
-                               IndexMode::TwoDistances};
-    std::vector<double> accuracy(workloads.size() * 3);
-    ThreadPool pool(options.threads);
-    try {
-        pool.parallelFor(accuracy.size(), [&](std::size_t i) {
-            accuracy[i] =
-                runVariant(workloads[i / 3], modes[i % 3],
-                           options.refs);
-        });
-    } catch (const std::invalid_argument &e) {
-        tlbpf_fatal(e.what());
-    }
+    std::vector<MechanismSpec> mechs = selectedMechanisms(
+        options, std::vector<std::string>{"dpx", "dpx(index=pc)",
+                                          "dpx(index=2dist)"});
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * mechs.size());
+    for (const WorkloadSpec &workload : workloads)
+        for (const MechanismSpec &spec : mechs)
+            jobs.push_back(SweepJob::functional(workload, spec,
+                                                options.refs));
+    std::vector<SweepResult> results = runBatch(options, jobs);
 
     TableSink out("prediction accuracy per indexing variant (r=256,D)");
-    out.header({"workload", "DP", "DP+PC", "DP+2dist"});
+    std::vector<std::string> header = {"workload"};
+    for (const MechanismSpec &spec : mechs)
+        header.push_back(spec.label());
+    out.header(header);
     MultiSink records = recordSinks(options);
     if (!records.empty())
         records.header({"workload", "variant", "accuracy"});
-    const char *variant_names[] = {"DP", "DP+PC", "DP+2dist"};
+    std::size_t cell = 0;
     for (std::size_t a = 0; a < workloads.size(); ++a) {
-        out.row({workloads[a].label(),
-                 TablePrinter::num(accuracy[a * 3 + 0], 3),
-                 TablePrinter::num(accuracy[a * 3 + 1], 3),
-                 TablePrinter::num(accuracy[a * 3 + 2], 3)});
-        if (!records.empty())
-            for (std::size_t m = 0; m < 3; ++m)
-                records.row({workloads[a].label(), variant_names[m],
-                             TablePrinter::num(accuracy[a * 3 + m],
-                                               6)});
+        std::vector<std::string> row = {workloads[a].label()};
+        for (const MechanismSpec &spec : mechs) {
+            const SweepResult &r = results[cell++];
+            row.push_back(TablePrinter::num(r.accuracy(), 3));
+            if (!records.empty())
+                records.row({workloads[a].label(), spec.label(),
+                             TablePrinter::num(r.accuracy(), 6)});
+        }
+        out.row(row);
     }
     out.finish();
     records.finish();

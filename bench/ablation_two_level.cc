@@ -12,6 +12,7 @@
  *
  * Usage: ablation_two_level [--refs N] [--threads N] [--csv out.csv]
  *                           [--json out.json] [--workload spec,...]
+ *                           [--mech spec,...] [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -42,17 +43,13 @@ struct TwoLevelResult
 };
 
 TwoLevelResult
-run(const WorkloadSpec &workload, Scheme scheme,
+run(const WorkloadSpec &workload, const MechanismSpec &spec,
     std::uint32_t l2_entries, std::uint64_t refs)
 {
     TwoLevelTlb tlb({32, 0}, {l2_entries, 0});
     PrefetchBuffer buffer(16);
     PageTable pt;
-    PrefetcherSpec spec;
-    spec.scheme = scheme;
-    spec.table = TableConfig{256, TableAssoc::Direct};
-    spec.slots = 2;
-    auto prefetcher = makePrefetcher(spec, pt);
+    auto prefetcher = spec.build(pt);
 
     TwoLevelResult result;
     PrefetchDecision decision;
@@ -101,25 +98,28 @@ main(int argc, char **argv)
                 "prefetcher after the L2 (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // The two-level loop is not a factory SweepJob; fan the workload
-    // × (scheme, L2 size) grid out on the thread pool, one slot per
-    // cell: dp128 / rp128 / dp256 / rp256.  build() throws from the
-    // workers; the catch turns that into the clean fatal exit.
+    // The two-level loop is not a registry SweepJob; fan the workload
+    // × (mechanism, L2 size) grid out on the thread pool, one slot per
+    // cell.  Default cells: dp128 / rp128 / dp256 / rp256; a --mech
+    // list replaces the DP/RP pair.  build() throws from the workers;
+    // the catch turns that into the clean fatal exit.
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, highMissRateApps());
     requireUnshardedWorkloads(options, workloads, "ablation_two_level");
-    const std::pair<Scheme, std::uint32_t> cells[] = {
-        {Scheme::DP, 128},
-        {Scheme::RP, 128},
-        {Scheme::DP, 256},
-        {Scheme::RP, 256},
-    };
-    std::vector<TwoLevelResult> results(workloads.size() * 4);
+    std::vector<MechanismSpec> mechs = selectedMechanisms(
+        options, std::vector<std::string>{"DP,256,D", "RP"});
+    std::vector<std::string> names = mechanismColumnLabels(mechs);
+    std::vector<std::pair<std::size_t, std::uint32_t>> cells;
+    for (std::uint32_t l2 : {128u, 256u})
+        for (std::size_t m = 0; m < mechs.size(); ++m)
+            cells.emplace_back(m, l2);
+    std::size_t ncells = cells.size();
+    std::vector<TwoLevelResult> results(workloads.size() * ncells);
     ThreadPool pool(options.threads);
     try {
         pool.parallelFor(results.size(), [&](std::size_t i) {
-            const auto &[scheme, l2] = cells[i % 4];
-            results[i] = run(workloads[i / 4], scheme, l2,
+            const auto &[m, l2] = cells[i % ncells];
+            results[i] = run(workloads[i / ncells], mechs[m], l2,
                              options.refs);
         });
     } catch (const std::invalid_argument &e) {
@@ -127,34 +127,37 @@ main(int argc, char **argv)
     }
 
     TableSink out("prediction accuracy on the L2 miss stream");
-    out.header({"workload", "L2=128 DP", "L2=128 RP", "L2=256 DP",
-                "L2=256 RP", "L2-miss rate (128)"});
+    std::vector<std::string> header = {"workload"};
+    for (const auto &[m, l2] : cells)
+        header.push_back("L2=" + std::to_string(l2) + " " + names[m]);
+    header.push_back("L2-miss rate (128)");
+    out.header(header);
     MultiSink records = recordSinks(options);
     if (!records.empty())
         records.header({"workload", "scheme", "l2_entries", "accuracy",
                         "l2_miss_rate"});
     for (std::size_t a = 0; a < workloads.size(); ++a) {
-        const TwoLevelResult &dp128 = results[a * 4 + 0];
-        out.row({workloads[a].label(),
-                 TablePrinter::num(results[a * 4 + 0].accuracy(), 3),
-                 TablePrinter::num(results[a * 4 + 1].accuracy(), 3),
-                 TablePrinter::num(results[a * 4 + 2].accuracy(), 3),
-                 TablePrinter::num(results[a * 4 + 3].accuracy(), 3),
-                 TablePrinter::num(
-                     static_cast<double>(dp128.l2Misses) /
-                         static_cast<double>(options.refs),
-                     4)});
+        const TwoLevelResult &first128 = results[a * ncells];
+        std::vector<std::string> row = {workloads[a].label()};
+        for (std::size_t c = 0; c < ncells; ++c)
+            row.push_back(TablePrinter::num(
+                results[a * ncells + c].accuracy(), 3));
+        row.push_back(TablePrinter::num(
+            static_cast<double>(first128.l2Misses) /
+                static_cast<double>(options.refs),
+            4));
+        out.row(row);
         if (!records.empty())
-            for (std::size_t c = 0; c < 4; ++c)
+            for (std::size_t c = 0; c < ncells; ++c)
                 records.row(
-                    {workloads[a].label(), schemeName(cells[c].first),
+                    {workloads[a].label(), names[cells[c].first],
                      TablePrinter::num(
                          static_cast<std::uint64_t>(cells[c].second)),
-                     TablePrinter::num(results[a * 4 + c].accuracy(),
-                                       6),
+                     TablePrinter::num(
+                         results[a * ncells + c].accuracy(), 6),
                      TablePrinter::num(
                          static_cast<double>(
-                             results[a * 4 + c].l2Misses) /
+                             results[a * ncells + c].l2Misses) /
                              static_cast<double>(options.refs),
                          6)});
     }

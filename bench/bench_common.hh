@@ -19,6 +19,20 @@
  *                                  set (legacy filter)
  *   --shards N                     split each functional cell into N
  *                                  merged shard jobs
+ *
+ * Mechanism addressing: every binary accepts
+ *   --mech <spec>[,<spec>...]      explicit MechanismSpec list in
+ *                                  either grammar: dp(rows=512,assoc=4w),
+ *                                  sp(degree=2), hybrid(dp+sp), or the
+ *                                  figure-legend forms DP,256,D / RP /
+ *                                  ASQ (parenthesised specs nest, so
+ *                                  "hybrid(dp+sp),rp" is two specs)
+ *   --list-mechanisms              print the registry (names, aliases,
+ *                                  typed parameters) and exit
+ *   --scheme NAME [--rows R] [--assoc A] [--slots S] [--degree D]
+ *   [--adaptive] [--reach N]       deprecated per-scheme flags, kept
+ *                                  for one release; translated to the
+ *                                  equivalent --mech spec string
  */
 
 #ifndef TLBPF_BENCH_BENCH_COMMON_HH
@@ -26,6 +40,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -49,6 +64,7 @@ struct BenchOptions
     std::string jsonPath;          ///< optional JSON dump
     std::vector<std::string> apps; ///< restrict the default set
     std::vector<WorkloadSpec> workloads; ///< explicit --workload/--app
+    std::vector<MechanismSpec> mechs;    ///< explicit --mech list
     unsigned threads = 1;          ///< sweep-engine worker count
     std::uint32_t shards = 1;      ///< shard fan-out per functional cell
 };
@@ -57,8 +73,102 @@ struct BenchOptions
 inline std::vector<std::string>
 standardBenchFlags()
 {
-    return {"refs", "csv",      "json", "apps",
-            "threads", "workload", "app",  "shards"};
+    return {"refs",     "csv",    "json",     "apps",
+            "threads",  "workload", "app",    "shards",
+            "mech",     "list-mechanisms",
+            // Deprecated per-scheme flags (one release, translated to
+            // a --mech spec string).
+            "scheme",   "rows",   "assoc",    "slots",
+            "degree",   "adaptive", "reach"};
+}
+
+/** Print the mechanism registry (for --list-mechanisms) and exit 0. */
+[[noreturn]] inline void
+listMechanismsAndExit()
+{
+    std::printf("mechanism registry (use with --mech "
+                "'name(key=value,...)' or a figure-legend form):\n");
+    for (const MechanismEntry *entry :
+         MechanismRegistry::instance().entries()) {
+        std::printf("  %-8s %s\n", entry->name.c_str(),
+                    entry->summary.c_str());
+        if (entry->composite) {
+            std::printf("           children: %zu..%zu '+'-separated "
+                        "specs, e.g. %s(dp+sp)\n",
+                        entry->minChildren, entry->maxChildren,
+                        entry->name.c_str());
+        }
+        for (const MechParam &param : entry->params) {
+            std::string domain;
+            switch (param.kind) {
+              case MechParam::Kind::UInt:
+                // Appends, not one +-chain: the chained form trips a
+                // GCC 12 -Wrestrict false positive when inlined.
+                domain += "[";
+                domain += std::to_string(param.min);
+                domain += "..";
+                domain += std::to_string(param.max);
+                domain += "], default ";
+                domain += std::to_string(param.dflt);
+                break;
+              case MechParam::Kind::Flag:
+                domain = std::string("flag, default ") +
+                         (param.dflt ? "on" : "off");
+                break;
+              case MechParam::Kind::Choice:
+                for (const std::string &choice : param.choices)
+                    domain += (domain.empty() ? "" : "|") + choice;
+                domain += ", default " + param.choices.front();
+                break;
+            }
+            std::printf("           %s=%s — %s\n", param.key.c_str(),
+                        domain.c_str(), param.help.c_str());
+        }
+        for (const auto &[alias, target] : entry->aliases)
+            std::printf("           alias %s -> %s\n", alias.c_str(),
+                        target.c_str());
+    }
+    std::exit(0);
+}
+
+/**
+ * Translate the deprecated per-scheme flags (--scheme/--rows/--assoc/
+ * --slots/--degree/--adaptive/--reach) into the equivalent spec
+ * string, so pre-registry sweep scripts keep working for one release.
+ * Unknown keys for the named mechanism are rejected by the registry
+ * with the usual actionable message.
+ */
+inline std::string
+legacySchemeSpecString(const CliArgs &args)
+{
+    std::string spec = args.get("scheme");
+    std::string params;
+    auto append = [&params](const std::string &kv) {
+        params += (params.empty() ? "" : ",") + kv;
+    };
+    if (args.has("rows"))
+        append("rows=" + args.get("rows"));
+    if (args.has("assoc"))
+        append("assoc=" + args.get("assoc"));
+    if (args.has("slots"))
+        append("slots=" + args.get("slots"));
+    if (args.has("degree"))
+        append("degree=" + args.get("degree"));
+    if (args.has("adaptive")) {
+        // Preserve an explicit value (--adaptive=false must disable);
+        // a bare --adaptive stays the bare flag form.
+        std::string value = args.get("adaptive");
+        append(value.empty() ? "adaptive" : "adaptive=" + value);
+    }
+    if (args.has("reach"))
+        append("reach=" + args.get("reach"));
+    if (!params.empty())
+        spec += "(" + params + ")";
+    std::fprintf(stderr,
+                 "warning: --scheme and the per-scheme flags are "
+                 "deprecated; use --mech '%s'\n",
+                 spec.c_str());
+    return spec;
 }
 
 inline BenchOptions
@@ -69,6 +179,8 @@ parseBenchOptions(int argc, const char *const *argv,
     for (auto &k : extra_known)
         known.push_back(k);
     CliArgs args(argc, argv, known);
+    if (args.has("list-mechanisms"))
+        listMechanismsAndExit();
     BenchOptions options;
     options.refs = static_cast<std::uint64_t>(
         args.getInt("refs", static_cast<std::int64_t>(
@@ -81,6 +193,15 @@ parseBenchOptions(int argc, const char *const *argv,
         options.workloads.push_back(parseWorkloadOrDie(spec));
     for (const std::string &name : parseStringList(args.get("app")))
         options.workloads.push_back(parseWorkloadOrDie("app:" + name));
+    if (args.has("mech"))
+        options.mechs = parseMechanismListOrDie(args.get("mech"));
+    if (args.has("scheme")) {
+        if (args.has("mech"))
+            tlbpf_fatal("--scheme (deprecated) and --mech are "
+                        "mutually exclusive; use --mech");
+        options.mechs.push_back(
+            parseMechanismOrDie(legacySchemeSpecString(args)));
+    }
     std::int64_t threads = args.getInt(
         "threads",
         static_cast<std::int64_t>(ThreadPool::defaultThreadCount()));
@@ -121,6 +242,56 @@ selectedWorkloads(const BenchOptions &options,
         if (appSelected(options, name))
             workloads.push_back(WorkloadSpec::app(name));
     return workloads;
+}
+
+/**
+ * The mechanism list a bench should sweep: the explicit --mech list
+ * when one was given, otherwise the bench's default specs.
+ */
+inline std::vector<MechanismSpec>
+selectedMechanisms(const BenchOptions &options,
+                   std::vector<MechanismSpec> default_specs)
+{
+    return options.mechs.empty() ? std::move(default_specs)
+                                 : options.mechs;
+}
+
+/** selectedMechanisms() over a table of default spec strings. */
+inline std::vector<MechanismSpec>
+selectedMechanisms(const BenchOptions &options,
+                   const std::vector<std::string> &default_specs)
+{
+    if (!options.mechs.empty())
+        return options.mechs;
+    std::vector<MechanismSpec> specs;
+    specs.reserve(default_specs.size());
+    for (const std::string &text : default_specs)
+        specs.push_back(parseMechanismOrDie(text));
+    return specs;
+}
+
+/**
+ * Display names for a mechanism list: the compact shortName() (the
+ * paper's column headers) while unambiguous, the full figure-legend
+ * label() as soon as two specs share a shortName — so
+ * `--mech 'DP,256,D,DP,512,D'` yields distinguishable columns.
+ */
+inline std::vector<std::string>
+mechanismColumnLabels(const std::vector<MechanismSpec> &specs)
+{
+    std::vector<std::string> names;
+    names.reserve(specs.size());
+    for (const MechanismSpec &spec : specs)
+        names.push_back(spec.shortName());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        for (std::size_t j = i + 1; j < names.size(); ++j)
+            if (names[i] == names[j]) {
+                names.clear();
+                for (const MechanismSpec &spec : specs)
+                    names.push_back(spec.label());
+                return names;
+            }
+    return names;
 }
 
 /** Registry-model overload of selectedWorkloads(). */
@@ -206,19 +377,19 @@ requireUnshardedWorkloads(const BenchOptions &options,
 inline void
 printAccuracyFigure(const std::string &caption,
                     const std::vector<WorkloadSpec> &workloads,
-                    const std::vector<PrefetcherSpec> &specs,
+                    const std::vector<MechanismSpec> &specs,
                     const BenchOptions &options)
 {
     std::vector<SweepJob> jobs;
     jobs.reserve(workloads.size() * specs.size());
     for (const WorkloadSpec &workload : workloads)
-        for (const PrefetcherSpec &spec : specs)
+        for (const MechanismSpec &spec : specs)
             jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
     std::vector<std::string> header = {"workload"};
-    for (const PrefetcherSpec &spec : specs)
+    for (const MechanismSpec &spec : specs)
         header.push_back(spec.label());
     TableSink table(caption);
     table.header(header);
@@ -231,7 +402,7 @@ printAccuracyFigure(const std::string &caption,
     std::size_t cell = 0;
     for (const WorkloadSpec &workload : workloads) {
         std::vector<std::string> row = {workload.label()};
-        for (const PrefetcherSpec &spec : specs) {
+        for (const MechanismSpec &spec : specs) {
             const SweepResult &r = results[cell++];
             row.push_back(TablePrinter::num(r.accuracy(), 3));
             if (!records.empty())

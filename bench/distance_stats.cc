@@ -10,9 +10,16 @@
  * stream and how much of the stream the top-8 distances cover — the
  * higher the coverage, the smaller the DP table can be.
  *
+ * With --mech, the analysis runs on the *residual* miss stream: TLB
+ * misses that the named mechanism's prefetch buffer did not cover.
+ * This answers "what pattern is left for a second-level predictor?" —
+ * e.g. --mech 'DP,256,D' shows the distances DP fails to absorb.
+ * Default is no prefetching, i.e. the raw miss stream as before.
+ *
  * Usage: distance_stats [--refs N] [--apps a,b,c] [--threads N]
  *                       [--csv out.csv] [--json out.json]
- *                       [--workload spec,...]
+ *                       [--workload spec,...] [--mech spec]
+ *                       [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -39,6 +46,12 @@ main(int argc, char **argv)
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, names);
     requireUnshardedWorkloads(options, workloads, "distance_stats");
+    if (options.mechs.size() > 1)
+        tlbpf_fatal("distance_stats analyses one residual stream; "
+                    "pass a single --mech spec, got ",
+                    options.mechs.size());
+    MechanismSpec mech = options.mechs.empty() ? MechanismSpec::none()
+                                               : options.mechs.front();
 
     // One pool cell per workload; each builds its own stream, TLB
     // and histograms and fills its row slot.  WorkloadSpec::build
@@ -48,9 +61,13 @@ main(int argc, char **argv)
     ThreadPool pool(options.threads);
     auto analyse = [&](std::size_t i) {
         Tlb tlb({128, 0});
+        PrefetchBuffer buffer(16);
+        PageTable pt;
+        auto prefetcher = mech.build(pt);
         SparseHistogram distances;
         SparseHistogram pages;
         Vpn prev = kNoPage;
+        PrefetchDecision decision;
 
         auto stream = workloads[i].build(options.refs);
         MemRef ref;
@@ -58,12 +75,30 @@ main(int argc, char **argv)
             Vpn vpn = ref.vpn();
             if (tlb.access(vpn))
                 continue;
-            tlb.insert(vpn);
-            pages.sample(static_cast<std::int64_t>(vpn));
-            if (prev != kNoPage)
-                distances.sample(static_cast<std::int64_t>(vpn) -
-                                 static_cast<std::int64_t>(prev));
-            prev = vpn;
+            Tick ready = 0;
+            bool covered = buffer.hitAndPromote(vpn, ready);
+            std::optional<Vpn> evicted = tlb.insert(vpn);
+            if (!covered) {
+                // Residual miss: neither TLB nor buffer held it.
+                pages.sample(static_cast<std::int64_t>(vpn));
+                if (prev != kNoPage)
+                    distances.sample(static_cast<std::int64_t>(vpn) -
+                                     static_cast<std::int64_t>(prev));
+                prev = vpn;
+            }
+            if (!prefetcher)
+                continue;
+            decision.clear();
+            prefetcher->onMiss(
+                TlbMiss{vpn, ref.pc, covered,
+                        evicted.value_or(kNoPage)},
+                decision);
+            for (Vpn target : decision.targets) {
+                if (target == vpn || tlb.contains(target) ||
+                    buffer.contains(target))
+                    continue;
+                buffer.insert(target, 0);
+            }
         }
 
         std::string top1 = "-";
@@ -91,8 +126,11 @@ main(int argc, char **argv)
         tlbpf_fatal(e.what());
     }
 
-    TableSink out("128-entry FA TLB; distances between successive "
-                  "missing pages");
+    std::string caption = "128-entry FA TLB; distances between "
+                          "successive missing pages";
+    if (mech.name != "none")
+        caption += " (residual stream under " + mech.label() + ")";
+    TableSink out(caption);
     std::vector<std::string> header = {"workload", "misses",
                                        "distinct pages",
                                        "distinct distances",

@@ -14,7 +14,8 @@
  *
  * Usage: fig7_spec [--refs N] [--apps gzip,mcf,...] [--csv out.csv]
  *                  [--json out.json] [--threads N] [--shards N]
- *                  [--workload spec,...]
+ *                  [--workload spec,...] [--mech spec,...]
+ *                  [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -34,6 +35,7 @@ main(int argc, char **argv)
     printAccuracyFigure("128-entry FA TLB, b=16, s=2, 4KB pages",
                         selectedWorkloads(options,
                                           appsInSuite(kSuiteSpec)),
-                        figure7Specs(), options);
+                        selectedMechanisms(options, figure7Specs()),
+                        options);
     return 0;
 }

@@ -12,6 +12,7 @@
  *                    [--json out.json] [--threads N] [--shards N]
  *                    [--workload spec,...]  (an explicit workload list
  *                    replaces every suite's app set)
+ *                    [--mech spec,...] [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -28,18 +29,19 @@ main(int argc, char **argv)
     std::printf("=== Figure 8: prediction accuracy, MediaBench / Etch "
                 "/ Pointer-Intensive (refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
+    std::vector<MechanismSpec> specs =
+        selectedMechanisms(options, figure7Specs());
     if (!options.workloads.empty()) {
         // An explicit list belongs to no suite; sweep it once.
         printAccuracyFigure("--- explicit workloads ---",
-                            options.workloads, figure7Specs(),
-                            options);
+                            options.workloads, specs, options);
         return 0;
     }
     for (const char *suite : {kSuiteMedia, kSuiteEtch, kSuitePtr}) {
         printAccuracyFigure(std::string("--- ") + suite + " ---",
                             selectedWorkloads(options,
                                               appsInSuite(suite)),
-                            figure7Specs(), options);
+                            specs, options);
     }
     return 0;
 }

@@ -18,6 +18,12 @@
  * Usage: fig9_sensitivity [--panel r|s|b|tlb|page|all] [--refs N]
  *                         [--threads N] [--shards N] [--csv out.csv]
  *                         [--json out.json] [--workload spec,...]
+ *                         [--mech spec] [--list-mechanisms]
+ *
+ * --mech substitutes the base mechanism whose sensitivity is swept
+ * (default dp).  The r/s panels re-parameterise it by name, so they
+ * need a mechanism with rows/assoc/slots parameters; anything else
+ * fails with the registry's actionable message.
  */
 
 #include <cstdio>
@@ -30,21 +36,65 @@ namespace
 using namespace tlbpf;
 using namespace tlbpf::bench;
 
-PrefetcherSpec
-dpSpec(std::uint32_t rows, TableAssoc assoc, std::uint32_t slots)
+/** The base mechanism the panels sweep (default: the paper's DP). */
+MechanismSpec baseMech = MechanismSpec::parse("dp");
+
+/**
+ * The base mechanism with the swept parameters overridden in place —
+ * every parameter not named here keeps the --mech base's value, so
+ * e.g. --mech 'dp(slots=4)' sweeps the r panel at slots=4 throughout.
+ * Values must be canonical tokens (numbers, dm/2w/4w/fa).
+ */
+MechanismSpec
+derived(
+    std::initializer_list<std::pair<const char *, std::string>>
+        overrides)
 {
-    PrefetcherSpec spec;
-    spec.scheme = Scheme::DP;
-    spec.table = TableConfig{rows, assoc};
-    spec.slots = slots;
+    MechanismSpec spec = baseMech;
+    for (const auto &[key, value] : overrides) {
+        bool found = false;
+        for (auto &[k, v] : spec.params) {
+            if (k == key) {
+                v = value;
+                found = true;
+            }
+        }
+        if (!found)
+            tlbpf_fatal("mechanism '", baseMech.canonical(),
+                        "' has no '", key,
+                        "' parameter to sweep; this panel needs a "
+                        "table mechanism (e.g. --mech dp)");
+    }
+    try {
+        spec.validate();
+    } catch (const std::invalid_argument &e) {
+        tlbpf_fatal(e.what());
+    }
     return spec;
+}
+
+/** Canonical assoc token for a TableAssoc (derived() override form). */
+std::string
+assocToken(TableAssoc assoc)
+{
+    switch (assoc) {
+      case TableAssoc::Direct:
+        return "dm";
+      case TableAssoc::TwoWay:
+        return "2w";
+      case TableAssoc::FourWay:
+        return "4w";
+      case TableAssoc::Full:
+        return "fa";
+    }
+    return "dm";
 }
 
 /** One Figure-9 panel column: a labelled (spec, geometry) variant. */
 struct PanelColumn
 {
     std::string label;
-    PrefetcherSpec spec;
+    MechanismSpec spec;
     SimConfig config;
 };
 
@@ -113,10 +163,12 @@ tableGeometryColumns()
         {32, TableAssoc::Direct},   {32, TableAssoc::Full},
     };
     std::vector<PanelColumn> columns;
-    for (const auto &[rows, assoc] : configs)
-        columns.push_back({"DP," + std::to_string(rows) + "," +
-                               assocLabel(assoc),
-                           dpSpec(rows, assoc, 2), SimConfig{}});
+    for (const auto &[rows, assoc] : configs) {
+        MechanismSpec spec =
+            derived({{"rows", std::to_string(rows)},
+                     {"assoc", assocToken(assoc)}});
+        columns.push_back({spec.label(), spec, SimConfig{}});
+    }
     return columns;
 }
 
@@ -126,7 +178,7 @@ slotColumns()
     std::vector<PanelColumn> columns;
     for (std::uint32_t s : {2u, 4u, 6u})
         columns.push_back({"s = " + std::to_string(s),
-                           dpSpec(256, TableAssoc::Direct, s),
+                           derived({{"slots", std::to_string(s)}}),
                            SimConfig{}});
     return columns;
 }
@@ -138,8 +190,8 @@ bufferColumns()
     for (std::uint32_t b : {16u, 32u, 64u}) {
         SimConfig config;
         config.pbEntries = b;
-        columns.push_back({"b = " + std::to_string(b),
-                           dpSpec(256, TableAssoc::Direct, 2), config});
+        columns.push_back({"b = " + std::to_string(b), baseMech,
+                           config});
     }
     return columns;
 }
@@ -152,7 +204,7 @@ tlbColumns()
         SimConfig config;
         config.tlb = TlbConfig{entries, 0};
         columns.push_back({std::to_string(entries) + "-entry TLB",
-                           dpSpec(256, TableAssoc::Direct, 2), config});
+                           baseMech, config});
     }
     return columns;
 }
@@ -168,7 +220,7 @@ pageColumns()
         SimConfig config;
         config.pageBytes = bytes;
         columns.push_back({std::to_string(bytes / 1024) + "KB pages",
-                           dpSpec(256, TableAssoc::Direct, 2), config});
+                           baseMech, config});
     }
     return columns;
 }
@@ -183,6 +235,12 @@ main(int argc, char **argv)
     known.push_back("panel");
     CliArgs args(argc, argv, known);
     std::string panel = args.get("panel", "all");
+    if (options.mechs.size() > 1)
+        tlbpf_fatal("fig9_sensitivity sweeps one base mechanism; "
+                    "pass a single --mech spec, got ",
+                    options.mechs.size());
+    if (!options.mechs.empty())
+        baseMech = options.mechs.front();
 
     std::printf("=== Figure 9: DP sensitivity analysis (refs/app = "
                 "%llu) ===\n",

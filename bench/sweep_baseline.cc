@@ -18,7 +18,14 @@
  * overhead (shards replay the stream prefix to warm state exactly,
  * so the merged wall-clock cost above 1x is the price of exactness).
  *
+ * A third phase times mechanism-registry resolution: how many
+ * parse+build round-trips per second the MechanismRegistry sustains
+ * (spec string -> resolved MechanismSpec -> constructed prefetcher),
+ * so the registry's construction overhead is tracked in
+ * BENCH_sweep.json alongside cells/sec.
+ *
  * Usage: sweep_baseline [--refs N] [--threads N] [--json out.json]
+ *                       [--mech spec,...] [--list-mechanisms]
  */
 
 #include <chrono>
@@ -38,20 +45,18 @@ main(int argc, char **argv)
         options.jsonPath = "BENCH_sweep.json";
 
     std::vector<SweepJob> jobs;
+    std::vector<MechanismSpec> functional_mechs =
+        selectedMechanisms(options, table2Specs());
     for (const std::string &app : highMissRateApps())
-        for (const PrefetcherSpec &spec : table2Specs())
+        for (const MechanismSpec &spec : functional_mechs)
             jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
                                                 spec, options.refs));
-    for (const std::string &app : table3Apps()) {
-        for (Scheme scheme : {Scheme::RP, Scheme::DP}) {
-            PrefetcherSpec spec;
-            spec.scheme = scheme;
-            spec.table = TableConfig{256, TableAssoc::Direct};
-            spec.slots = 2;
+    std::vector<MechanismSpec> timed_mechs = selectedMechanisms(
+        options, std::vector<std::string>{"RP", "DP,256,D"});
+    for (const std::string &app : table3Apps())
+        for (const MechanismSpec &spec : timed_mechs)
             jobs.push_back(SweepJob::timed(WorkloadSpec::app(app), spec,
                                            options.refs));
-        }
-    }
 
     std::printf("=== Sweep-engine baseline: %zu cells, %llu refs/cell "
                 "===\n",
@@ -88,10 +93,7 @@ main(int argc, char **argv)
 
     // Shard map/reduce overhead on one representative cell.
     constexpr std::uint32_t kShardFanout = 4;
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
-    dp.table = TableConfig{256, TableAssoc::Direct};
-    dp.slots = 2;
+    MechanismSpec dp = parseMechanismOrDie("DP,256,D");
     std::vector<SweepJob> shard_cell = {SweepJob::functional(
         WorkloadSpec::app("mcf"), dp, options.refs)};
 
@@ -116,6 +118,32 @@ main(int argc, char **argv)
         tlbpf_fatal("sharded-and-merged counters diverged from the "
                     "unsharded cell");
 
+    // Registry construction overhead: parse+build round-trips per
+    // second over a representative spec mix (one per builtin family
+    // plus the composite).  This is the per-cell setup cost the open
+    // registry adds over the old closed-enum switch.
+    const char *const kRegistrySpecs[] = {
+        "DP,256,D", "RP", "ASP,256,D", "MP,256,D", "SP,1", "ASQ",
+        "hybrid(dp+sp)",
+    };
+    constexpr int kRegistryRounds = 2000;
+    t0 = Clock::now();
+    std::uint64_t builds = 0;
+    volatile const void *sink = nullptr; // keep the builds observable
+    for (int round = 0; round < kRegistryRounds; ++round) {
+        for (const char *text : kRegistrySpecs) {
+            PageTable pt;
+            MechanismSpec spec = MechanismSpec::parse(text);
+            auto built = spec.build(pt);
+            sink = built.get();
+            ++builds;
+        }
+    }
+    (void)sink;
+    double registry_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    double builds_per_sec = static_cast<double>(builds) / registry_s;
+
     TableSink table;
     table.header({"mode", "threads", "seconds", "cells/sec"});
     table.row({"serial", "1", TablePrinter::num(serial_s, 3),
@@ -130,6 +158,10 @@ main(int argc, char **argv)
                 "%.3fs vs %.3fs unsharded (overhead %.2fx)\n",
                 kShardFanout, sharded_s, unsharded_s,
                 sharded_s / unsharded_s);
+    std::printf("registry parse+build: %.0f builds/sec (%llu builds "
+                "in %.3fs)\n",
+                builds_per_sec,
+                static_cast<unsigned long long>(builds), registry_s);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
@@ -137,7 +169,7 @@ main(int argc, char **argv)
                  "parallel_seconds", "serial_cells_per_sec",
                  "parallel_cells_per_sec", "speedup", "shard_fanout",
                  "shard_unsharded_seconds", "shard_merged_seconds",
-                 "shard_overhead"});
+                 "shard_overhead", "registry_builds_per_sec"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -150,7 +182,8 @@ main(int argc, char **argv)
               std::to_string(kShardFanout),
               TablePrinter::num(unsharded_s, 4),
               TablePrinter::num(sharded_s, 4),
-              TablePrinter::num(sharded_s / unsharded_s, 3)});
+              TablePrinter::num(sharded_s / unsharded_s, 3),
+              TablePrinter::num(builds_per_sec, 1)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

@@ -7,15 +7,16 @@
  *
  * Usage: table1_hardware [--refs N] [--threads N] [--csv out.csv]
  *                        [--json out.json] [--workload spec]
+ *                        [--mech spec,...] [--list-mechanisms]
+ *                        (--mech replaces the ASP/MP/RP/DP columns —
+ *                        e.g. --mech 'hybrid(dp+sp)' prints the
+ *                        composite's accumulated hardware cost)
  */
 
 #include <cstdio>
 
 #include "bench_common.hh"
-#include "prefetch/asp.hh"
 #include "prefetch/distance.hh"
-#include "prefetch/markov.hh"
-#include "prefetch/recency.hh"
 
 int
 main(int argc, char **argv)
@@ -27,25 +28,26 @@ main(int argc, char **argv)
 
     std::printf("=== Table 1: hardware comparison (s = 2) ===\n");
 
-    PageTable pt;
-    TableConfig table{256, TableAssoc::Direct};
-    AspPrefetcher asp(table);
-    MarkovPrefetcher mp(table, 2);
-    RecencyPrefetcher rp(pt);
-    DistancePrefetcher dp(table, 2);
-    const Prefetcher *schemes[] = {&asp, &mp, &rp, &dp};
+    std::vector<MechanismSpec> mechs = selectedMechanisms(
+        options, std::vector<std::string>{"ASP,256,D", "MP,256,D",
+                                          "RP", "DP,256,D"});
 
     TableSink out;
     MultiSink records = recordSinks(options);
-    std::vector<std::string> header = {"", "ASP", "MP", "RP", "DP"};
+    std::vector<std::string> header = {""};
+    std::vector<std::string> record_header = {"property"};
+    for (const std::string &name : mechanismColumnLabels(mechs)) {
+        header.push_back(name);
+        record_header.push_back(name);
+    }
     out.header(header);
     if (!records.empty())
-        records.header({"property", "ASP", "MP", "RP", "DP"});
+        records.header(record_header);
 
     auto row = [&](const std::string &label, auto field) {
         std::vector<std::string> cells = {label};
-        for (const Prefetcher *scheme : schemes)
-            cells.push_back(field(scheme->hardwareProfile()));
+        for (const MechanismSpec &spec : mechs)
+            cells.push_back(field(spec.hardwareProfile()));
         out.row(cells);
         if (!records.empty())
             records.row(cells);
@@ -71,8 +73,7 @@ main(int argc, char **argv)
     // model: RP grows the page table by two words per PTE; DP needs a
     // few hundred bytes of on-chip table.  The representative run
     // defaults to mcf; --workload substitutes any spec.
-    PrefetcherSpec rp_spec;
-    rp_spec.scheme = Scheme::RP;
+    MechanismSpec rp_spec = parseMechanismOrDie("rp");
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, std::vector<std::string>{"mcf"});
     if (workloads.empty())
@@ -90,6 +91,7 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(run.footprintPages),
                 static_cast<unsigned long long>(run.footprintPages *
                                                 16));
+    DistancePrefetcher dp(TableConfig{256, TableAssoc::Direct}, 2);
     std::printf("DP on-chip table (r=256, s=2): %llu bytes\n",
                 static_cast<unsigned long long>(
                     dp.predictor().storageBits() / 8));

@@ -15,7 +15,8 @@
  *
  * Usage: table2_averages [--refs N] [--threads N] [--shards N]
  *                        [--csv out.csv] [--json out.json]
- *                        [--workload spec,...]
+ *                        [--workload spec,...] [--mech spec,...]
+ *                        [--list-mechanisms]
  */
 
 #include <cstdio>
@@ -29,7 +30,9 @@ main(int argc, char **argv)
     using namespace tlbpf::bench;
 
     BenchOptions options = parseBenchOptions(argc, argv);
-    std::vector<PrefetcherSpec> specs = table2Specs(); // DP RP ASP MP
+    // Default: DP RP ASP MP (Table 2's comparison set).
+    std::vector<MechanismSpec> specs =
+        selectedMechanisms(options, table2Specs());
 
     std::printf("=== Table 2: average prediction accuracy over the 56 "
                 "applications (s=2, r=256) ===\n");
@@ -42,52 +45,57 @@ main(int argc, char **argv)
     std::vector<SweepJob> jobs;
     jobs.reserve(workloads.size() * specs.size());
     for (const WorkloadSpec &workload : workloads)
-        for (const PrefetcherSpec &spec : specs)
+        for (const MechanismSpec &spec : specs)
             jobs.push_back(SweepJob::functional(workload, spec,
                                                 options.refs));
     std::vector<SweepResult> results = runBatch(options, jobs);
 
+    std::vector<std::string> names = mechanismColumnLabels(specs);
     MultiSink records = recordSinks(options);
-    if (!records.empty())
-        records.header({"workload", "miss_rate", "DP", "RP", "ASP",
-                        "MP"});
+    if (!records.empty()) {
+        std::vector<std::string> header = {"workload", "miss_rate"};
+        for (const std::string &name : names)
+            header.push_back(name);
+        records.header(header);
+    }
 
-    double sum[4] = {};
-    double weighted_sum[4] = {};
+    std::size_t cols = specs.size();
+    std::vector<double> sum(cols, 0.0);
+    std::vector<double> weighted_sum(cols, 0.0);
     double weight_total = 0.0;
     std::size_t n = 0;
 
     std::size_t cell = 0;
     for (const WorkloadSpec &workload : workloads) {
         (void)workload;
-        double acc[4] = {};
+        std::vector<double> acc(cols, 0.0);
         double miss_rate = 0.0;
-        for (std::size_t i = 0; i < specs.size(); ++i) {
+        for (std::size_t i = 0; i < cols; ++i) {
             const SweepResult &r = results[cell++];
             acc[i] = r.accuracy();
             miss_rate = r.missRate();
         }
-        for (int i = 0; i < 4; ++i) {
+        for (std::size_t i = 0; i < cols; ++i) {
             sum[i] += acc[i];
             weighted_sum[i] += miss_rate * acc[i];
         }
         weight_total += miss_rate;
         ++n;
-        if (!records.empty())
-            records.row({results[cell - 1].workload,
-                         TablePrinter::num(miss_rate, 6),
-                         TablePrinter::num(acc[0], 6),
-                         TablePrinter::num(acc[1], 6),
-                         TablePrinter::num(acc[2], 6),
-                         TablePrinter::num(acc[3], 6)});
+        if (!records.empty()) {
+            std::vector<std::string> row = {
+                results[cell - 1].workload,
+                TablePrinter::num(miss_rate, 6)};
+            for (std::size_t i = 0; i < cols; ++i)
+                row.push_back(TablePrinter::num(acc[i], 6));
+            records.row(row);
+        }
     }
     records.finish();
 
     TableSink out;
     out.header({"Scheme", "Average (sum p_i / n)",
                 "Weighted (sum m_i*p_i / sum m_i)"});
-    const char *names[] = {"DP", "RP", "ASP", "MP"};
-    for (int i = 0; i < 4; ++i) {
+    for (std::size_t i = 0; i < cols; ++i) {
         out.row({names[i],
                  TablePrinter::num(sum[i] / static_cast<double>(n), 3),
                  TablePrinter::num(weighted_sum[i] / weight_total, 3)});

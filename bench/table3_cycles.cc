@@ -18,8 +18,12 @@
  *
  * Usage: table3_cycles [--refs N] [--threads N] [--csv out.csv]
  *                      [--json out.json] [--workload spec,...]
+ *                      [--mech spec,...] [--list-mechanisms]
+ *                      (--mech replaces the RP/DP comparison columns;
+ *                      the no-prefetch baseline always runs)
  */
 
+#include <cctype>
 #include <cstdio>
 
 #include "bench_common.hh"
@@ -32,20 +36,19 @@ main(int argc, char **argv)
 
     BenchOptions options = parseBenchOptions(argc, argv);
 
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
-    PrefetcherSpec rp;
-    rp.scheme = Scheme::RP;
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
-    dp.table = TableConfig{256, TableAssoc::Direct};
-    dp.slots = 2;
+    // The comparison columns (paper: RP vs DP); the no-prefetch
+    // baseline always runs to normalise against.
+    MechanismSpec none = MechanismSpec::none();
+    std::vector<MechanismSpec> mechs =
+        selectedMechanisms(options,
+                           std::vector<std::string>{"RP", "DP,256,D"});
+    std::size_t cols = mechs.size();
 
     std::printf("=== Table 3: normalised execution cycles, RP vs DP "
                 "(s=2, r=256, refs/app = %llu) ===\n",
                 static_cast<unsigned long long>(options.refs));
 
-    // Per workload, in slot order: baseline / RP / DP timing cells.
+    // Per workload, in slot order: baseline then one cell per --mech.
     std::vector<WorkloadSpec> workloads =
         selectedWorkloads(options, table3Apps());
     if (options.shards > 1)
@@ -57,46 +60,72 @@ main(int argc, char **argv)
                         "workload '", workload.label(),
                         "' is not supported");
     std::vector<SweepJob> jobs;
-    jobs.reserve(workloads.size() * 3);
-    for (const WorkloadSpec &workload : workloads)
-        for (const PrefetcherSpec &spec : {none, rp, dp})
+    jobs.reserve(workloads.size() * (cols + 1));
+    for (const WorkloadSpec &workload : workloads) {
+        jobs.push_back(SweepJob::timed(workload, none, options.refs));
+        for (const MechanismSpec &spec : mechs)
             jobs.push_back(SweepJob::timed(workload, spec,
                                            options.refs));
+    }
     std::vector<SweepResult> results = runBatch(options, jobs);
 
+    auto lower = [](std::string s) {
+        for (char &c : s)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        return s;
+    };
+    std::vector<std::string> names = mechanismColumnLabels(mechs);
+    std::vector<std::string> header = {"workload"};
+    std::vector<std::string> record_header = {"workload"};
+    for (const char *suffix : {"", " acc", " memops"})
+        for (const std::string &name : names) {
+            header.push_back(name + suffix);
+            record_header.push_back(
+                lower(name) +
+                (suffix[0] == '\0'
+                     ? "_norm"
+                     : suffix[1] == 'a' ? "_acc" : "_memops"));
+        }
     TableSink out;
-    out.header({"workload", "RP", "DP", "RP acc", "DP acc",
-                "RP memops", "DP memops"});
+    out.header(header);
     MultiSink records = recordSinks(options);
     if (!records.empty())
-        records.header({"workload", "rp_norm", "dp_norm", "rp_acc",
-                        "dp_acc", "rp_memops", "dp_memops"});
+        records.header(record_header);
 
+    std::size_t stride = cols + 1;
     for (std::size_t a = 0; a < workloads.size(); ++a) {
-        const TimingResult &base = results[a * 3 + 0].timed;
-        const TimingResult &with_rp = results[a * 3 + 1].timed;
-        const TimingResult &with_dp = results[a * 3 + 2].timed;
-        double rp_norm = static_cast<double>(with_rp.cycles) /
-                         static_cast<double>(base.cycles);
-        double dp_norm = static_cast<double>(with_dp.cycles) /
-                         static_cast<double>(base.cycles);
-        out.row({workloads[a].label(),
-                 TablePrinter::num(rp_norm, 2),
-                 TablePrinter::num(dp_norm, 2),
-                 TablePrinter::num(with_rp.functional.accuracy(), 3),
-                 TablePrinter::num(with_dp.functional.accuracy(), 3),
-                 TablePrinter::num(with_rp.memoryOps),
-                 TablePrinter::num(with_dp.memoryOps)});
+        const TimingResult &base = results[a * stride].timed;
+        std::vector<double> norm(cols);
+        for (std::size_t c = 0; c < cols; ++c)
+            norm[c] =
+                static_cast<double>(
+                    results[a * stride + 1 + c].timed.cycles) /
+                static_cast<double>(base.cycles);
+        auto timed_of = [&](std::size_t c) -> const TimingResult & {
+            return results[a * stride + 1 + c].timed;
+        };
+        std::vector<std::string> row = {workloads[a].label()};
+        std::vector<std::string> record = {workloads[a].label()};
+        for (std::size_t c = 0; c < cols; ++c) {
+            row.push_back(TablePrinter::num(norm[c], 2));
+            record.push_back(TablePrinter::num(norm[c], 6));
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+            row.push_back(
+                TablePrinter::num(timed_of(c).functional.accuracy(),
+                                  3));
+            record.push_back(
+                TablePrinter::num(timed_of(c).functional.accuracy(),
+                                  6));
+        }
+        for (std::size_t c = 0; c < cols; ++c) {
+            row.push_back(TablePrinter::num(timed_of(c).memoryOps));
+            record.push_back(TablePrinter::num(timed_of(c).memoryOps));
+        }
+        out.row(row);
         if (!records.empty())
-            records.row({workloads[a].label(),
-                         TablePrinter::num(rp_norm, 6),
-                         TablePrinter::num(dp_norm, 6),
-                         TablePrinter::num(
-                             with_rp.functional.accuracy(), 6),
-                         TablePrinter::num(
-                             with_dp.functional.accuracy(), 6),
-                         TablePrinter::num(with_rp.memoryOps),
-                         TablePrinter::num(with_dp.memoryOps)});
+            records.row(record);
     }
     out.finish();
     records.finish();

@@ -145,12 +145,9 @@ main()
     std::printf("%-14s %10s %10s %12s\n", "mechanism", "accuracy",
                 "missrate", "memops/miss");
 
-    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::ASP,
-                          Scheme::MP, Scheme::RP, Scheme::DP}) {
-        PrefetcherSpec spec;
-        spec.scheme = scheme;
-        spec.table = TableConfig{256, TableAssoc::Direct};
-        spec.slots = 2;
+    for (const char *text : {"none", "SP,1", "ASP,256,D", "MP,256,D",
+                             "RP", "DP,256,D"}) {
+        MechanismSpec spec = MechanismSpec::parse(text);
         stream.reset();
         SimResult r = simulate(SimConfig{}, spec, stream);
         std::printf("%-14s %10.3f %10.5f %12.2f\n",

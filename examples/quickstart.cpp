@@ -30,17 +30,14 @@ main(int argc, char **argv)
     std::printf("workload: %s (%s) — %s\n", app.c_str(),
                 findApp(app).suite.c_str(), findApp(app).notes.c_str());
 
-    // 2. A prefetcher specification.  The paper's recommended DP
+    // 2. A mechanism specification, resolved against the open
+    //    MechanismRegistry.  The paper's recommended DP
     //    configuration: 256-row direct-mapped table, 2 slots.
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
-    dp.table = TableConfig{256, TableAssoc::Direct};
-    dp.slots = 2;
+    MechanismSpec dp = MechanismSpec::parse("dp(rows=256,assoc=dm)");
 
     // 3. Simulate: first without prefetching for the baseline, then
     //    with DP.
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
+    MechanismSpec none = MechanismSpec::none();
     SimResult base = simulate(SimConfig{}, none, *stream);
     stream->reset();
     SimResult with_dp = simulate(SimConfig{}, dp, *stream);

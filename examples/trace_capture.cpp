@@ -31,10 +31,7 @@ main(int argc, char **argv)
     }
 
     // Replay from disk and compare against the live generator.
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
-    dp.table = TableConfig{256, TableAssoc::Direct};
-    dp.slots = 2;
+    MechanismSpec dp = MechanismSpec::parse("DP,256,D");
 
     auto live = buildApp(app, refs);
     SimResult from_live = simulate(SimConfig{}, dp, *live);

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hybrid prefetching: a composite mechanism that arbitrates the
+ * decisions of two or more child mechanisms.
+ *
+ * The paper evaluates each mechanism in isolation; a natural question
+ * it leaves open is whether their predictions are complementary (DP
+ * captures strided distance patterns, SP the dense-sequential tail,
+ * RP pure temporal recency).  HybridPrefetcher feeds every TLB miss
+ * to each child and unions their prefetch targets, deduplicating in
+ * child order, while state-maintenance costs accumulate — an upper
+ * bound on the coverage a combined predictor could reach with the
+ * same tables.
+ *
+ * The mechanism is registered with the open MechanismRegistry through
+ * its public API only — no central enum or switch knows it exists —
+ * as `hybrid(<child>+<child>...)`, e.g. `hybrid(dp+sp)`: the proof
+ * that the registry is genuinely extensible.
+ */
+
+#ifndef TLBPF_PREFETCH_HYBRID_HH
+#define TLBPF_PREFETCH_HYBRID_HH
+
+#include <memory>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace tlbpf
+{
+
+class MechanismRegistry;
+
+/** Composite prefetcher: union-with-dedup over child decisions. */
+class HybridPrefetcher : public Prefetcher
+{
+  public:
+    /** @param children >= 2 built child mechanisms (none may be null). */
+    explicit HybridPrefetcher(
+        std::vector<std::unique_ptr<Prefetcher>> children);
+
+    void onMiss(const TlbMiss &miss, PrefetchDecision &decision) override;
+    void reset() override;
+
+    std::string name() const override { return "HYB"; }
+    std::string label() const override;
+    HardwareProfile hardwareProfile() const override;
+
+    /** Drop only if every child would (the least favourable policy). */
+    bool dropPrefetchesWhenBusy() const override;
+
+    const std::vector<std::unique_ptr<Prefetcher>> &
+    childMechanisms() const
+    {
+        return _children;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Prefetcher>> _children;
+    PrefetchDecision _scratch;
+};
+
+/** Register the `hybrid(...)` entry (called once at registry setup). */
+void registerHybridMechanism(MechanismRegistry &registry);
+
+} // namespace tlbpf
+
+#endif // TLBPF_PREFETCH_HYBRID_HH

@@ -6,12 +6,15 @@
  * (workload × mechanism × geometry) cells.  A SweepJob captures one
  * such cell as a plain value — a WorkloadSpec naming the reference
  * stream (registry app, trace file, multi-programmed mix, or a shard
- * of any of those), prefetcher spec, reference budget, simulator
- * geometry, and whether the cell runs under the functional or the
- * timing model — so a whole figure is just a std::vector<SweepJob>
- * that can be executed in any order on any number of threads.  Each
- * job builds its own stream and simulator state when it runs; nothing
- * is shared mutably between cells.
+ * of any of those), a MechanismSpec naming the prefetching mechanism
+ * (a registry entry with resolved parameters, or a composite), a
+ * reference budget, simulator geometry, and whether the cell runs
+ * under the functional or the timing model — so a whole figure is
+ * just a std::vector<SweepJob> that can be executed in any order on
+ * any number of threads.  Each job builds its own stream and
+ * simulator state when it runs; nothing is shared mutably between
+ * cells.  A cell is therefore fully addressed by the string pair
+ * (WorkloadSpec::label(), MechanismSpec::label()).
  */
 
 #ifndef TLBPF_RUN_JOB_HH
@@ -19,7 +22,7 @@
 
 #include <string>
 
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "sim/functional_sim.hh"
 #include "sim/timing_sim.hh"
 #include "workload/workload_spec.hh"
@@ -38,7 +41,7 @@ enum class JobMode
 struct SweepJob
 {
     WorkloadSpec workload;    ///< what reference stream to simulate
-    PrefetcherSpec spec;      ///< mechanism + geometry
+    MechanismSpec spec;       ///< mechanism + geometry
     std::uint64_t refs = 0;   ///< reference budget (must be > 0)
     SimConfig config{};       ///< TLB/buffer geometry, ablation flags
     TimingConfig timing{};    ///< cycle model (Timed mode only)
@@ -46,7 +49,7 @@ struct SweepJob
 
     /** Functional-mode cell. */
     static SweepJob
-    functional(WorkloadSpec workload, const PrefetcherSpec &spec,
+    functional(WorkloadSpec workload, const MechanismSpec &spec,
                std::uint64_t refs, const SimConfig &config = SimConfig{})
     {
         SweepJob job;
@@ -60,7 +63,7 @@ struct SweepJob
 
     /** Timing-mode cell. */
     static SweepJob
-    timed(WorkloadSpec workload, const PrefetcherSpec &spec,
+    timed(WorkloadSpec workload, const MechanismSpec &spec,
           std::uint64_t refs, const SimConfig &config = SimConfig{},
           const TimingConfig &timing = TimingConfig{})
     {
@@ -73,40 +76,16 @@ struct SweepJob
         job.mode = JobMode::Timed;
         return job;
     }
-
-    /**
-     * Deprecated string-addressed overloads, kept for one PR: the
-     * string is parsed as a WorkloadSpec (a bare name still denotes a
-     * registry app, and any spec-grammar string works), but callers
-     * should construct the WorkloadSpec themselves.
-     */
-    [[deprecated("address workloads with a WorkloadSpec")]]
-    static SweepJob
-    functional(const std::string &workload, const PrefetcherSpec &spec,
-               std::uint64_t refs, const SimConfig &config = SimConfig{})
-    {
-        return functional(WorkloadSpec::parse(workload), spec, refs,
-                          config);
-    }
-
-    [[deprecated("address workloads with a WorkloadSpec")]]
-    static SweepJob
-    timed(const std::string &workload, const PrefetcherSpec &spec,
-          std::uint64_t refs, const SimConfig &config = SimConfig{},
-          const TimingConfig &timing = TimingConfig{})
-    {
-        return timed(WorkloadSpec::parse(workload), spec, refs, config,
-                     timing);
-    }
 };
 
 /** Outcome of one cell, in the submission slot of its job. */
 struct SweepResult
 {
     JobMode mode = JobMode::Functional;
-    std::string workload; ///< resolved workload label of the cell
-    SimResult functional; ///< valid in both modes
-    TimingResult timed;   ///< valid only when mode == Timed
+    std::string workload;  ///< resolved workload label of the cell
+    std::string mechanism; ///< figure-legend mechanism label
+    SimResult functional;  ///< valid in both modes
+    TimingResult timed;    ///< valid only when mode == Timed
 
     double accuracy() const { return functional.accuracy(); }
     double missRate() const { return functional.missRate(); }

@@ -16,6 +16,7 @@ runSweepJob(const SweepJob &job)
     SweepResult result;
     result.mode = job.mode;
     result.workload = job.workload.label();
+    result.mechanism = job.spec.label();
 
     if (job.workload.sharded()) {
         if (job.mode != JobMode::Functional)
@@ -89,6 +90,7 @@ mergeShardResults(const ShardPlan &plan,
         SweepResult folded;
         folded.mode = plan.jobs[i].mode;
         folded.workload = plan.jobs[i].workload.base().label();
+        folded.mechanism = plan.jobs[i].spec.label();
         for (std::uint32_t k = 0; k < count; ++k, ++i)
             addCounters(folded.functional, results[i].functional);
         merged.push_back(std::move(folded));

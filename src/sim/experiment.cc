@@ -8,57 +8,46 @@
 namespace tlbpf
 {
 
-std::vector<PrefetcherSpec>
-figure7Specs()
+namespace
 {
-    std::vector<PrefetcherSpec> specs;
 
-    PrefetcherSpec rp;
-    rp.scheme = Scheme::RP;
-    specs.push_back(rp);
-
-    // MP: 1024,D / 1024,4 / 1024,2 / 512,D / 512,4 / 256,D / 256,4 /
-    // 256,F (paper legend order).
-    const std::pair<std::uint32_t, TableAssoc> mp_configs[] = {
-        {1024, TableAssoc::Direct}, {1024, TableAssoc::FourWay},
-        {1024, TableAssoc::TwoWay}, {512, TableAssoc::Direct},
-        {512, TableAssoc::FourWay}, {256, TableAssoc::Direct},
-        {256, TableAssoc::FourWay}, {256, TableAssoc::Full},
-    };
-    for (const auto &[rows, assoc] : mp_configs) {
-        PrefetcherSpec spec;
-        spec.scheme = Scheme::MP;
-        spec.table = TableConfig{rows, assoc};
-        spec.slots = 2;
-        specs.push_back(spec);
-    }
-
-    // DP and ASP: direct-mapped, r descending 1024..32.
-    for (Scheme scheme : {Scheme::DP, Scheme::ASP}) {
-        for (std::uint32_t rows : {1024u, 512u, 256u, 128u, 64u, 32u}) {
-            PrefetcherSpec spec;
-            spec.scheme = scheme;
-            spec.table = TableConfig{rows, TableAssoc::Direct};
-            spec.slots = 2;
-            specs.push_back(spec);
-        }
-    }
+std::vector<MechanismSpec>
+parseSpecTable(const char *const *table, std::size_t n)
+{
+    std::vector<MechanismSpec> specs;
+    specs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        specs.push_back(MechanismSpec::parse(table[i]));
     return specs;
 }
 
-std::vector<PrefetcherSpec>
+} // namespace
+
+std::vector<MechanismSpec>
+figure7Specs()
+{
+    // The figure legend, verbatim: each entry is a mechanism spec in
+    // the registry's figure-legend grammar, so the list doubles as a
+    // parse round-trip fixture (parse(label(s)) == s for all of them).
+    static const char *const kLegend[] = {
+        "RP",
+        "MP,1024,D", "MP,1024,4", "MP,1024,2", "MP,512,D", "MP,512,4",
+        "MP,256,D",  "MP,256,4",  "MP,256,F",
+        "DP,1024,D", "DP,512,D",  "DP,256,D",  "DP,128,D", "DP,64,D",
+        "DP,32,D",
+        "ASP,1024,D", "ASP,512,D", "ASP,256,D", "ASP,128,D", "ASP,64,D",
+        "ASP,32,D",
+    };
+    return parseSpecTable(kLegend, std::size(kLegend));
+}
+
+std::vector<MechanismSpec>
 table2Specs()
 {
-    std::vector<PrefetcherSpec> specs;
-    for (Scheme scheme :
-         {Scheme::DP, Scheme::RP, Scheme::ASP, Scheme::MP}) {
-        PrefetcherSpec spec;
-        spec.scheme = scheme;
-        spec.table = TableConfig{256, TableAssoc::Direct};
-        spec.slots = 2;
-        specs.push_back(spec);
-    }
-    return specs;
+    static const char *const kLegend[] = {
+        "DP,256,D", "RP", "ASP,256,D", "MP,256,D",
+    };
+    return parseSpecTable(kLegend, std::size(kLegend));
 }
 
 namespace
@@ -82,7 +71,7 @@ runCellOrDie(const SweepJob &job)
 } // namespace
 
 SimResult
-runFunctional(const WorkloadSpec &workload, const PrefetcherSpec &spec,
+runFunctional(const WorkloadSpec &workload, const MechanismSpec &spec,
               std::uint64_t refs, const SimConfig &config)
 {
     return runCellOrDie(
@@ -91,7 +80,7 @@ runFunctional(const WorkloadSpec &workload, const PrefetcherSpec &spec,
 }
 
 TimingResult
-runTimed(const WorkloadSpec &workload, const PrefetcherSpec &spec,
+runTimed(const WorkloadSpec &workload, const MechanismSpec &spec,
          std::uint64_t refs, const SimConfig &config,
          const TimingConfig &timing)
 {
@@ -101,7 +90,7 @@ runTimed(const WorkloadSpec &workload, const PrefetcherSpec &spec,
 }
 
 SimResult
-runFunctional(const std::string &workload, const PrefetcherSpec &spec,
+runFunctional(const std::string &workload, const MechanismSpec &spec,
               std::uint64_t refs, const SimConfig &config)
 {
     return runFunctional(parseWorkloadOrDie(workload), spec, refs,
@@ -109,7 +98,7 @@ runFunctional(const std::string &workload, const PrefetcherSpec &spec,
 }
 
 TimingResult
-runTimed(const std::string &workload, const PrefetcherSpec &spec,
+runTimed(const std::string &workload, const MechanismSpec &spec,
          std::uint64_t refs, const SimConfig &config,
          const TimingConfig &timing)
 {
@@ -119,13 +108,13 @@ runTimed(const std::string &workload, const PrefetcherSpec &spec,
 
 std::vector<AccuracyCell>
 accuracySweep(const WorkloadSpec &workload,
-              const std::vector<PrefetcherSpec> &specs,
+              const std::vector<MechanismSpec> &specs,
               std::uint64_t refs, const SimConfig &config,
               unsigned threads)
 {
     std::vector<SweepJob> jobs;
     jobs.reserve(specs.size());
-    for (const PrefetcherSpec &spec : specs)
+    for (const MechanismSpec &spec : specs)
         jobs.push_back(
             SweepJob::functional(workload, spec, refs, config));
 
@@ -148,7 +137,7 @@ accuracySweep(const WorkloadSpec &workload,
 
 std::vector<AccuracyCell>
 accuracySweep(const std::string &workload,
-              const std::vector<PrefetcherSpec> &specs,
+              const std::vector<MechanismSpec> &specs,
               std::uint64_t refs, const SimConfig &config,
               unsigned threads)
 {

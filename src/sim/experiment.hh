@@ -1,7 +1,8 @@
 /**
  * @file
  * Experiment drivers shared by the bench binaries: the standard
- * mechanism configurations from the paper's figures, and one-call
+ * mechanism configurations from the paper's figures (as spec-string
+ * tables resolved against the MechanismRegistry), and one-call
  * helpers that build an application model and simulate it.
  */
 
@@ -11,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "sim/functional_sim.hh"
 #include "sim/timing_sim.hh"
 #include "workload/app_registry.hh"
@@ -28,19 +29,19 @@ constexpr std::uint64_t kDefaultBenchRefs = 1'000'000;
  * order: RP; MP with r in {1024,512,256} and D/4/2/F variants; DP with
  * r in {1024..32} direct-mapped; ASP with r in {1024..32}.
  */
-std::vector<PrefetcherSpec> figure7Specs();
+std::vector<MechanismSpec> figure7Specs();
 
-/** Compact comparison set: RP, MP/DP/ASP at r=256 D, s=2 (Table 2). */
-std::vector<PrefetcherSpec> table2Specs();
+/** Compact comparison set: DP, RP, ASP, MP at r=256 D, s=2 (Table 2). */
+std::vector<MechanismSpec> table2Specs();
 
 /** Run one workload under one mechanism (functional). */
 SimResult runFunctional(const WorkloadSpec &workload,
-                        const PrefetcherSpec &spec, std::uint64_t refs,
+                        const MechanismSpec &spec, std::uint64_t refs,
                         const SimConfig &config = SimConfig{});
 
 /** Run one workload under the timing model. */
 TimingResult runTimed(const WorkloadSpec &workload,
-                      const PrefetcherSpec &spec, std::uint64_t refs,
+                      const MechanismSpec &spec, std::uint64_t refs,
                       const SimConfig &config = SimConfig{},
                       const TimingConfig &timing = TimingConfig{});
 
@@ -50,10 +51,10 @@ TimingResult runTimed(const WorkloadSpec &workload,
  * all work), with a parse error producing the documented fatal exit.
  */
 SimResult runFunctional(const std::string &workload,
-                        const PrefetcherSpec &spec, std::uint64_t refs,
+                        const MechanismSpec &spec, std::uint64_t refs,
                         const SimConfig &config = SimConfig{});
 TimingResult runTimed(const std::string &workload,
-                      const PrefetcherSpec &spec, std::uint64_t refs,
+                      const MechanismSpec &spec, std::uint64_t refs,
                       const SimConfig &config = SimConfig{},
                       const TimingConfig &timing = TimingConfig{});
 
@@ -73,7 +74,7 @@ struct AccuracyCell
  */
 std::vector<AccuracyCell>
 accuracySweep(const WorkloadSpec &workload,
-              const std::vector<PrefetcherSpec> &specs,
+              const std::vector<MechanismSpec> &specs,
               std::uint64_t refs,
               const SimConfig &config = SimConfig{},
               unsigned threads = 1);
@@ -81,7 +82,7 @@ accuracySweep(const WorkloadSpec &workload,
 /** String sugar; see runFunctional(const std::string&, ...). */
 std::vector<AccuracyCell>
 accuracySweep(const std::string &workload,
-              const std::vector<PrefetcherSpec> &specs,
+              const std::vector<MechanismSpec> &specs,
               std::uint64_t refs,
               const SimConfig &config = SimConfig{},
               unsigned threads = 1);

@@ -4,11 +4,11 @@ namespace tlbpf
 {
 
 FunctionalSimulator::FunctionalSimulator(const SimConfig &config,
-                                         const PrefetcherSpec &spec)
+                                         const MechanismSpec &spec)
     : _config(config),
       _tlb(config.tlb),
       _buffer(config.pbEntries),
-      _prefetcher(makePrefetcher(spec, _pt))
+      _prefetcher(spec.build(_pt))
 {
 }
 
@@ -89,7 +89,7 @@ FunctionalSimulator::result()
 }
 
 SimResult
-simulate(const SimConfig &config, const PrefetcherSpec &spec,
+simulate(const SimConfig &config, const MechanismSpec &spec,
          RefStream &stream)
 {
     FunctionalSimulator sim(config, spec);
@@ -140,7 +140,7 @@ counterDelta(const SimResult &end, const SimResult &start)
 } // namespace
 
 SimResult
-simulateWindow(const SimConfig &config, const PrefetcherSpec &spec,
+simulateWindow(const SimConfig &config, const MechanismSpec &spec,
                RefStream &stream, std::uint64_t skip,
                std::uint64_t take)
 {

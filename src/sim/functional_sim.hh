@@ -23,7 +23,7 @@
 #include <memory>
 
 #include "mem/page_table.hh"
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "prefetch/prefetcher.hh"
 #include "tlb/prefetch_buffer.hh"
 #include "tlb/tlb.hh"
@@ -108,7 +108,7 @@ class FunctionalSimulator
 {
   public:
     FunctionalSimulator(const SimConfig &config,
-                        const PrefetcherSpec &spec);
+                        const MechanismSpec &spec);
 
     /** Feed one reference. */
     void process(const MemRef &ref);
@@ -132,7 +132,7 @@ class FunctionalSimulator
 };
 
 /** Run @p stream to exhaustion under @p spec and return the counters. */
-SimResult simulate(const SimConfig &config, const PrefetcherSpec &spec,
+SimResult simulate(const SimConfig &config, const MechanismSpec &spec,
                    RefStream &stream);
 
 /**
@@ -153,7 +153,7 @@ void addCounters(SimResult &into, const SimResult &from);
  * merged counters equal the unsharded run exactly.
  */
 SimResult simulateWindow(const SimConfig &config,
-                         const PrefetcherSpec &spec, RefStream &stream,
+                         const MechanismSpec &spec, RefStream &stream,
                          std::uint64_t skip, std::uint64_t take);
 
 } // namespace tlbpf

@@ -7,13 +7,13 @@ namespace tlbpf
 
 TimingSimulator::TimingSimulator(const SimConfig &config,
                                  const TimingConfig &timing,
-                                 const PrefetcherSpec &spec)
+                                 const MechanismSpec &spec)
     : _config(config),
       _timing(timing),
       _tlb(config.tlb),
       _buffer(config.pbEntries),
       _channel(timing.memOpCost),
-      _prefetcher(makePrefetcher(spec, _pt))
+      _prefetcher(spec.build(_pt))
 {
 }
 
@@ -102,7 +102,7 @@ TimingSimulator::result()
 
 TimingResult
 simulateTimed(const SimConfig &config, const TimingConfig &timing,
-              const PrefetcherSpec &spec, RefStream &stream)
+              const MechanismSpec &spec, RefStream &stream)
 {
     TimingSimulator sim(config, timing, spec);
     MemRef ref;

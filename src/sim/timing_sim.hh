@@ -27,7 +27,7 @@
 
 #include "mem/page_table.hh"
 #include "mem/prefetch_channel.hh"
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "sim/functional_sim.hh"
 #include "tlb/prefetch_buffer.hh"
 #include "tlb/tlb.hh"
@@ -61,7 +61,7 @@ class TimingSimulator
 {
   public:
     TimingSimulator(const SimConfig &config, const TimingConfig &timing,
-                    const PrefetcherSpec &spec);
+                    const MechanismSpec &spec);
 
     void process(const MemRef &ref);
 
@@ -86,7 +86,7 @@ class TimingSimulator
 /** Run a stream to exhaustion under the timing model. */
 TimingResult simulateTimed(const SimConfig &config,
                            const TimingConfig &timing,
-                           const PrefetcherSpec &spec,
+                           const MechanismSpec &spec,
                            RefStream &stream);
 
 } // namespace tlbpf

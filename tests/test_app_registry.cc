@@ -148,8 +148,7 @@ class MissRateCalibration : public ::testing::TestWithParam<MissRateBand>
 TEST_P(MissRateCalibration, WithinBand)
 {
     const MissRateBand &band = GetParam();
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
+    MechanismSpec none = MechanismSpec::none();
     SimResult r = runFunctional(band.app, none, 400000);
     EXPECT_GE(r.missRate(), band.lo) << band.app;
     EXPECT_LE(r.missRate(), band.hi) << band.app;

@@ -59,7 +59,7 @@ counters(const TimingResult &r)
 TEST(Determinism, FunctionalRunsAreBitIdentical)
 {
     for (const char *app : {"gcc", "galgel", "mcf"}) {
-        for (const PrefetcherSpec &spec : table2Specs()) {
+        for (const MechanismSpec &spec : table2Specs()) {
             SimResult first = runFunctional(app, spec, kRefs);
             SimResult second = runFunctional(app, spec, kRefs);
             EXPECT_EQ(counters(first), counters(second))
@@ -72,12 +72,10 @@ TEST(Determinism, FunctionalRunsSurviveInterleavedWork)
 {
     // A run sandwiched between unrelated simulations must not change:
     // no hidden global state may leak between simulator instances.
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SimResult baseline = runFunctional("swim", dp, kRefs);
 
-    PrefetcherSpec rp;
-    rp.scheme = Scheme::RP;
+    MechanismSpec rp = MechanismSpec::parse("rp");
     (void)runFunctional("gcc", rp, kRefs);
 
     SimResult again = runFunctional("swim", dp, kRefs);
@@ -86,8 +84,7 @@ TEST(Determinism, FunctionalRunsSurviveInterleavedWork)
 
 TEST(Determinism, TimedRunsAreBitIdentical)
 {
-    PrefetcherSpec spec;
-    spec.scheme = Scheme::DP;
+    MechanismSpec spec = MechanismSpec::parse("dp");
     TimingResult first = runTimed("gcc", spec, kRefs);
     TimingResult second = runTimed("gcc", spec, kRefs);
     EXPECT_EQ(counters(first), counters(second));
@@ -104,12 +101,11 @@ mixedJobBatch()
 {
     std::vector<SweepJob> jobs;
     for (const char *app : {"gcc", "mcf", "galgel"})
-        for (const PrefetcherSpec &spec : table2Specs())
+        for (const MechanismSpec &spec : table2Specs())
             jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
                                                 spec, kRefs));
 
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SimConfig flushing;
     flushing.contextSwitchInterval = 10000;
     jobs.push_back(SweepJob::functional(WorkloadSpec::app("swim"), dp,
@@ -126,13 +122,10 @@ mixedJobBatch()
         jobs.push_back(SweepJob::functional(
             WorkloadSpec::app("galgel").withShard(k, 3), dp, kRefs));
 
-    for (Scheme scheme : {Scheme::None, Scheme::RP, Scheme::DP}) {
-        PrefetcherSpec spec;
-        spec.scheme = scheme;
-        spec.table = TableConfig{256, TableAssoc::Direct};
-        jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"), spec,
+    for (const char *mech : {"none", "rp", "dp"})
+        jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"),
+                                       MechanismSpec::parse(mech),
                                        kRefs));
-    }
     return jobs;
 }
 

@@ -9,7 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "core/distance_predictor.hh"
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "sim/functional_sim.hh"
 #include "tlb/prefetch_buffer.hh"
 #include "tlb/tlb.hh"
@@ -21,14 +21,10 @@ namespace tlbpf
 namespace
 {
 
-PrefetcherSpec
-spec(Scheme scheme)
+MechanismSpec
+spec(const std::string &text)
 {
-    PrefetcherSpec s;
-    s.scheme = scheme;
-    s.table = TableConfig{64, TableAssoc::Direct};
-    s.slots = 2;
-    return s;
+    return MechanismSpec::parse(text);
 }
 
 // ------------------------------------------------------------- death
@@ -89,7 +85,7 @@ TEST(EdgeCaseDeathTest, ZeroEntryTlbInsideSimulatorExitsCleanly)
     config.tlb = TlbConfig{0, 0};
     std::vector<MemRef> refs;
     VectorStream stream(std::move(refs));
-    EXPECT_EXIT(simulate(config, spec(Scheme::DP), stream),
+    EXPECT_EXIT(simulate(config, spec("dp(rows=64)"), stream),
                 ::testing::ExitedWithCode(1),
                 "TLB needs at least one entry");
 }
@@ -98,31 +94,31 @@ TEST(EdgeCaseDeathTest, ZeroEntryTlbInsideSimulatorExitsCleanly)
 
 TEST(EdgeCase, EmptyStreamYieldsZeroedCounters)
 {
-    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::ASP,
-                          Scheme::MP, Scheme::RP, Scheme::DP}) {
+    for (const char *mech : {"none", "sp", "asp(rows=64)",
+                              "mp(rows=64)", "rp", "dp(rows=64)"}) {
         VectorStream stream({});
-        SimResult r = simulate(SimConfig{}, spec(scheme), stream);
-        EXPECT_EQ(r.refs, 0u) << schemeName(scheme);
-        EXPECT_EQ(r.misses, 0u) << schemeName(scheme);
-        EXPECT_EQ(r.prefetchesIssued, 0u) << schemeName(scheme);
-        EXPECT_EQ(r.footprintPages, 0u) << schemeName(scheme);
+        SimResult r = simulate(SimConfig{}, spec(mech), stream);
+        EXPECT_EQ(r.refs, 0u) << mech;
+        EXPECT_EQ(r.misses, 0u) << mech;
+        EXPECT_EQ(r.prefetchesIssued, 0u) << mech;
+        EXPECT_EQ(r.footprintPages, 0u) << mech;
         // The derived metrics must not divide by zero.
-        EXPECT_DOUBLE_EQ(r.missRate(), 0.0) << schemeName(scheme);
-        EXPECT_DOUBLE_EQ(r.accuracy(), 0.0) << schemeName(scheme);
-        EXPECT_DOUBLE_EQ(r.memOpsPerMiss(), 0.0) << schemeName(scheme);
+        EXPECT_DOUBLE_EQ(r.missRate(), 0.0) << mech;
+        EXPECT_DOUBLE_EQ(r.accuracy(), 0.0) << mech;
+        EXPECT_DOUBLE_EQ(r.memOpsPerMiss(), 0.0) << mech;
     }
 }
 
 TEST(EdgeCase, SingleReferenceStream)
 {
-    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::ASP,
-                          Scheme::MP, Scheme::RP, Scheme::DP}) {
+    for (const char *mech : {"none", "sp", "asp(rows=64)",
+                              "mp(rows=64)", "rp", "dp(rows=64)"}) {
         VectorStream stream({MemRef{0x1000, 0x400, false, 0}});
-        SimResult r = simulate(SimConfig{}, spec(scheme), stream);
-        EXPECT_EQ(r.refs, 1u) << schemeName(scheme);
-        EXPECT_EQ(r.misses, 1u) << schemeName(scheme);
-        EXPECT_EQ(r.pbHits, 0u) << schemeName(scheme);
-        EXPECT_EQ(r.footprintPages, 1u) << schemeName(scheme);
+        SimResult r = simulate(SimConfig{}, spec(mech), stream);
+        EXPECT_EQ(r.refs, 1u) << mech;
+        EXPECT_EQ(r.misses, 1u) << mech;
+        EXPECT_EQ(r.pbHits, 0u) << mech;
+        EXPECT_EQ(r.footprintPages, 1u) << mech;
     }
 }
 
@@ -137,13 +133,13 @@ TEST(EdgeCase, OneEntryTlbAndBufferStillSimulate)
         refs.push_back(MemRef{page * kDefaultPageBytes, 0x400, false,
                               static_cast<std::uint64_t>(3 * i)});
     }
-    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::MP,
-                          Scheme::RP, Scheme::DP}) {
+    for (const char *mech : {"none", "sp", "mp(rows=64)", "rp",
+                              "dp(rows=64)"}) {
         VectorStream stream(refs);
-        SimResult r = simulate(config, spec(scheme), stream);
-        EXPECT_EQ(r.refs, 64u) << schemeName(scheme);
-        EXPECT_GE(r.misses, 1u) << schemeName(scheme);
-        EXPECT_LE(r.pbHits, r.misses) << schemeName(scheme);
+        SimResult r = simulate(config, spec(mech), stream);
+        EXPECT_EQ(r.refs, 64u) << mech;
+        EXPECT_GE(r.misses, 1u) << mech;
+        EXPECT_LE(r.pbHits, r.misses) << mech;
     }
 }
 

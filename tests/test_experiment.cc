@@ -28,25 +28,31 @@ TEST(Figure7Specs, MatchesPaperLegend)
     EXPECT_EQ(specs[14].label(), "DP,32,D");
     EXPECT_EQ(specs[15].label(), "ASP,1024,D");
     EXPECT_EQ(specs[20].label(), "ASP,32,D");
-    for (const PrefetcherSpec &spec : specs)
-        EXPECT_EQ(spec.slots, 2u) << spec.label();
+    for (const MechanismSpec &spec : specs) {
+        if (spec.name == "mp" || spec.name == "dp") {
+            EXPECT_EQ(spec.uintParam("slots"), 2u) << spec.label();
+        }
+    }
 }
 
 TEST(Table2Specs, FourSchemesAt256)
 {
     auto specs = table2Specs();
     ASSERT_EQ(specs.size(), 4u);
-    EXPECT_EQ(specs[0].scheme, Scheme::DP);
-    EXPECT_EQ(specs[1].scheme, Scheme::RP);
-    EXPECT_EQ(specs[2].scheme, Scheme::ASP);
-    EXPECT_EQ(specs[3].scheme, Scheme::MP);
-    for (const PrefetcherSpec &spec : specs)
-        EXPECT_EQ(spec.table.rows, 256u);
+    EXPECT_EQ(specs[0].name, "dp");
+    EXPECT_EQ(specs[1].name, "rp");
+    EXPECT_EQ(specs[2].name, "asp");
+    EXPECT_EQ(specs[3].name, "mp");
+    for (const MechanismSpec &spec : specs) {
+        if (spec.name != "rp") {
+            EXPECT_EQ(spec.uintParam("rows"), 256u);
+        }
+    }
 }
 
 TEST(AccuracySweep, CellsMatchIndividualRuns)
 {
-    std::vector<PrefetcherSpec> specs = table2Specs();
+    std::vector<MechanismSpec> specs = table2Specs();
     auto cells = accuracySweep("galgel", specs, 100000);
     ASSERT_EQ(cells.size(), 4u);
     SimResult direct = runFunctional("galgel", specs[0], 100000);
@@ -57,9 +63,7 @@ TEST(AccuracySweep, CellsMatchIndividualRuns)
 
 TEST(RunTimed, NormalisesSanely)
 {
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
-    TimingResult r = runTimed("eon", none, 50000);
+    TimingResult r = runTimed("eon", MechanismSpec::none(), 50000);
     // eon barely misses: cycles ~ compute cycles.
     EXPECT_LT(r.stallCycles, r.computeCycles / 10);
     EXPECT_EQ(r.cycles, r.computeCycles + r.stallCycles);
@@ -74,12 +78,8 @@ TEST(Variants, AdaptiveSpBeatsFixedDegreeOneOnSequentialBursts)
     for (Vpn p = 0; p < 30000; ++p)
         refs.push_back(MemRef{p * kDefaultPageBytes, 0x4000, false, p});
 
-    PrefetcherSpec fixed;
-    fixed.scheme = Scheme::SP;
-    fixed.degree = 1;
-    PrefetcherSpec adaptive;
-    adaptive.scheme = Scheme::SP;
-    adaptive.adaptive = true;
+    MechanismSpec fixed = MechanismSpec::parse("sp(degree=1)");
+    MechanismSpec adaptive = MechanismSpec::parse("sp(adaptive)");
 
     VectorStream s1(refs);
     VectorStream s2(refs);
@@ -97,12 +97,8 @@ TEST(Variants, WideReachRpLiftsAccuracyOnHistoryApp)
     // The 3-entry-style RP variant prefetches deeper into the stack
     // neighbourhood; on a history app it should not do worse, and it
     // issues more prefetch traffic.
-    PrefetcherSpec rp2;
-    rp2.scheme = Scheme::RP;
-    rp2.rpReach = 1;
-    PrefetcherSpec rp4;
-    rp4.scheme = Scheme::RP;
-    rp4.rpReach = 2;
+    MechanismSpec rp2 = MechanismSpec::parse("rp(reach=1)");
+    MechanismSpec rp4 = MechanismSpec::parse("rp(reach=2)");
     SimResult narrow = runFunctional("gcc", rp2, 300000);
     SimResult wide = runFunctional("gcc", rp4, 300000);
     EXPECT_GE(wide.accuracy(), narrow.accuracy() - 0.02);
@@ -111,19 +107,16 @@ TEST(Variants, WideReachRpLiftsAccuracyOnHistoryApp)
 
 TEST(Variants, FactoryLabelsForVariants)
 {
-    PrefetcherSpec spec;
-    spec.scheme = Scheme::SP;
-    spec.adaptive = true;
+    MechanismSpec spec = MechanismSpec::parse("ASQ");
     EXPECT_EQ(spec.label(), "ASQ");
     PageTable pt;
-    auto pf = makePrefetcher(spec, pt);
+    auto pf = spec.build(pt);
     EXPECT_EQ(pf->name(), "ASQ");
 
-    spec = PrefetcherSpec{};
-    spec.scheme = Scheme::RP;
-    spec.rpReach = 2;
+    spec = MechanismSpec::parse("rp(reach=2)");
     EXPECT_EQ(spec.label(), "RP,4");
-    auto rp = makePrefetcher(spec, pt);
+    EXPECT_EQ(MechanismSpec::parse("RP,4"), spec);
+    auto rp = spec.build(pt);
     EXPECT_EQ(rp->label(), "RP,4");
 }
 

@@ -36,20 +36,16 @@ tinyConfig()
     return config;
 }
 
-PrefetcherSpec
-spec(Scheme scheme)
+MechanismSpec
+spec(const std::string &text)
 {
-    PrefetcherSpec s;
-    s.scheme = scheme;
-    s.table = TableConfig{64, TableAssoc::Direct};
-    s.slots = 2;
-    return s;
+    return MechanismSpec::parse(text);
 }
 
 TEST(FunctionalSim, CountsRefsAndMisses)
 {
     auto stream = pageStream({1, 1, 2, 1, 3});
-    SimResult r = simulate(tinyConfig(), spec(Scheme::None), *stream);
+    SimResult r = simulate(tinyConfig(), spec("none"), *stream);
     EXPECT_EQ(r.refs, 5u);
     EXPECT_EQ(r.misses, 3u); // 1, 2, 3 cold; repeats hit
     EXPECT_EQ(r.demandFetches, 3u);
@@ -68,7 +64,7 @@ TEST(FunctionalSim, LruEvictionCausesCapacityMisses)
         for (Vpn p = 0; p < 5; ++p)
             refs.push_back(MemRef{p * kDefaultPageBytes, 0, false, 0});
     VectorStream stream(std::move(refs));
-    SimResult r = simulate(tinyConfig(), spec(Scheme::None), stream);
+    SimResult r = simulate(tinyConfig(), spec("none"), stream);
     EXPECT_EQ(r.misses, 15u);
 }
 
@@ -80,7 +76,7 @@ TEST(FunctionalSim, SequentialPrefetcherConvertsMissesToBufferHits)
     for (Vpn p = 0; p < 10; ++p)
         refs.push_back(MemRef{p * kDefaultPageBytes, 0, false, 0});
     VectorStream stream(std::move(refs));
-    SimResult r = simulate(tinyConfig(), spec(Scheme::SP), stream);
+    SimResult r = simulate(tinyConfig(), spec("sp"), stream);
     EXPECT_EQ(r.misses, 10u); // still TLB misses by definition
     EXPECT_EQ(r.pbHits, 9u);
     EXPECT_EQ(r.demandFetches, 1u);
@@ -101,13 +97,16 @@ TEST(FunctionalSim, PrefetchingNeverChangesTlbMissCount)
                               static_cast<std::uint64_t>(i) * 3});
     }
     std::uint64_t baseline = 0;
-    for (Scheme scheme : {Scheme::None, Scheme::SP, Scheme::ASP,
-                          Scheme::MP, Scheme::RP, Scheme::DP}) {
+    bool first = true;
+    for (const char *text : {"none", "sp", "asp(rows=64)",
+                             "mp(rows=64)", "rp", "dp(rows=64)"}) {
         VectorStream stream(refs);
-        SimResult r = simulate(tinyConfig(), spec(scheme), stream);
-        if (scheme == Scheme::None)
+        SimResult r = simulate(tinyConfig(), spec(text), stream);
+        if (first) {
             baseline = r.misses;
-        EXPECT_EQ(r.misses, baseline) << schemeName(scheme);
+            first = false;
+        }
+        EXPECT_EQ(r.misses, baseline) << text;
     }
     EXPECT_GT(baseline, 0u);
 }
@@ -120,14 +119,14 @@ TEST(FunctionalSim, DuplicatePrefetchesSuppressed)
     auto stream = pageStream({5, 4, 5, 6});
     // miss 5 -> prefetch 6; miss 4 -> prefetch 5 (5 is in TLB:
     // suppressed); 5 hits TLB; 6 hits buffer.
-    SimResult r = simulate(tinyConfig(), spec(Scheme::SP), *stream);
+    SimResult r = simulate(tinyConfig(), spec("sp"), *stream);
     EXPECT_GE(r.prefetchesSuppressed, 1u);
     EXPECT_EQ(r.pbHits, 1u);
 }
 
 TEST(FunctionalSim, BufferHitPromotesToTlb)
 {
-    FunctionalSimulator sim(tinyConfig(), spec(Scheme::SP));
+    FunctionalSimulator sim(tinyConfig(), spec("sp"));
     auto feed = [&sim](Vpn p) {
         sim.process(MemRef{p * kDefaultPageBytes, 0, false, 0});
     };
@@ -146,10 +145,10 @@ TEST(FunctionalSim, RpStateOpsCounted)
         for (Vpn p = 0; p < 12; ++p)
             refs.push_back(MemRef{p * kDefaultPageBytes, 0, false, 0});
     VectorStream stream(std::move(refs));
-    SimResult rp = simulate(tinyConfig(), spec(Scheme::RP), stream);
+    SimResult rp = simulate(tinyConfig(), spec("rp"), stream);
     EXPECT_GT(rp.stateOps, 0u);
     stream.reset();
-    SimResult dp = simulate(tinyConfig(), spec(Scheme::DP), stream);
+    SimResult dp = simulate(tinyConfig(), spec("dp(rows=64)"), stream);
     EXPECT_EQ(dp.stateOps, 0u);
     EXPECT_GT(rp.memOpsPerMiss(), dp.memOpsPerMiss());
 }
@@ -157,7 +156,7 @@ TEST(FunctionalSim, RpStateOpsCounted)
 TEST(FunctionalSim, AccuracyIsZeroWithoutPrefetcher)
 {
     auto stream = pageStream({1, 2, 3, 1, 2, 3});
-    SimResult r = simulate(tinyConfig(), spec(Scheme::None), *stream);
+    SimResult r = simulate(tinyConfig(), spec("none"), *stream);
     EXPECT_EQ(r.prefetchesIssued, 0u);
     EXPECT_DOUBLE_EQ(r.accuracy(), 0.0);
 }
@@ -165,7 +164,7 @@ TEST(FunctionalSim, AccuracyIsZeroWithoutPrefetcher)
 TEST(FunctionalSim, EmptyStreamYieldsZeroedResult)
 {
     VectorStream stream(std::vector<MemRef>{});
-    SimResult r = simulate(tinyConfig(), spec(Scheme::DP), stream);
+    SimResult r = simulate(tinyConfig(), spec("dp(rows=64)"), stream);
     EXPECT_EQ(r.refs, 0u);
     EXPECT_DOUBLE_EQ(r.missRate(), 0.0);
     EXPECT_DOUBLE_EQ(r.accuracy(), 0.0);
@@ -184,8 +183,8 @@ TEST(FunctionalSim, SmallerTlbMissesMore)
     large.tlb.entries = 16;
     VectorStream s1(refs);
     VectorStream s2(refs);
-    SimResult r_small = simulate(small, spec(Scheme::None), s1);
-    SimResult r_large = simulate(large, spec(Scheme::None), s2);
+    SimResult r_small = simulate(small, spec("none"), s1);
+    SimResult r_large = simulate(large, spec("none"), s2);
     EXPECT_GT(r_small.misses, r_large.misses);
 }
 
@@ -202,8 +201,8 @@ TEST(FunctionalSim, ContextSwitchFlushesEverything)
     switching.contextSwitchInterval = 30;
     VectorStream s1(refs);
     VectorStream s2(refs);
-    SimResult base = simulate(no_switch, spec(Scheme::None), s1);
-    SimResult flushed = simulate(switching, spec(Scheme::None), s2);
+    SimResult base = simulate(no_switch, spec("none"), s1);
+    SimResult flushed = simulate(switching, spec("none"), s2);
     EXPECT_EQ(base.misses, 3u);
     EXPECT_EQ(flushed.contextSwitches, 9u); // 300 refs / 30 - 1
     EXPECT_EQ(flushed.misses, 3u + 9u * 3u);
@@ -221,8 +220,8 @@ TEST(FunctionalSim, ContextSwitchResetsPrefetcherState)
     switching.contextSwitchInterval = 10;
     VectorStream s1(refs);
     VectorStream s2(refs);
-    SimResult base = simulate(no_switch, spec(Scheme::DP), s1);
-    SimResult flushed = simulate(switching, spec(Scheme::DP), s2);
+    SimResult base = simulate(no_switch, spec("dp(rows=64)"), s1);
+    SimResult flushed = simulate(switching, spec("dp(rows=64)"), s2);
     EXPECT_GT(base.accuracy(), flushed.accuracy());
     EXPECT_GT(flushed.accuracy(), 0.0); // but DP re-learns quickly
 }
@@ -239,7 +238,7 @@ TEST(FunctionalSim, TrainOnAllRefsFeedsHitsToThePrefetcher)
         for (int rep = 0; rep < 4; ++rep)
             refs.push_back(MemRef{p * kDefaultPageBytes, 0, false, 0});
     VectorStream s1(refs);
-    SimResult r = simulate(full, spec(Scheme::DP), s1);
+    SimResult r = simulate(full, spec("dp(rows=64)"), s1);
     EXPECT_LE(r.pbHits, r.misses);
     EXPECT_GT(r.accuracy(), 0.5); // sequential page walk still caught
 }
@@ -254,8 +253,8 @@ TEST(FunctionalSim, PageSizeChangesFootprint)
         refs.push_back(MemRef{a, 0, false, 0});
     VectorStream s1(refs);
     VectorStream s2(refs);
-    SimResult r4k = simulate(base, spec(Scheme::None), s1);
-    SimResult r16k = simulate(big_pages, spec(Scheme::None), s2);
+    SimResult r4k = simulate(base, spec("none"), s1);
+    SimResult r16k = simulate(big_pages, spec("none"), s2);
     EXPECT_EQ(r4k.footprintPages, 64u);
     EXPECT_EQ(r16k.footprintPages, 16u);
     EXPECT_GT(r4k.misses, r16k.misses);

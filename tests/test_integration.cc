@@ -20,19 +20,14 @@ namespace
 
 constexpr std::uint64_t kRefs = 400000;
 
-PrefetcherSpec
-spec(Scheme scheme, std::uint32_t rows = 256,
-     TableAssoc assoc = TableAssoc::Direct, std::uint32_t slots = 2)
+MechanismSpec
+spec(const std::string &text)
 {
-    PrefetcherSpec s;
-    s.scheme = scheme;
-    s.table = TableConfig{rows, assoc};
-    s.slots = slots;
-    return s;
+    return MechanismSpec::parse(text);
 }
 
 double
-accuracy(const std::string &app, const PrefetcherSpec &s,
+accuracy(const std::string &app, const MechanismSpec &s,
          std::uint64_t refs = kRefs)
 {
     return runFunctional(app, s, refs).accuracy();
@@ -41,10 +36,10 @@ accuracy(const std::string &app, const PrefetcherSpec &s,
 TEST(Integration, ColdStridedFavoursAspAndDp)
 {
     // gzip: first-touch strided references (paper Section 3.2).
-    double asp = accuracy("gzip", spec(Scheme::ASP));
-    double dp = accuracy("gzip", spec(Scheme::DP));
-    double rp = accuracy("gzip", spec(Scheme::RP));
-    double mp = accuracy("gzip", spec(Scheme::MP));
+    double asp = accuracy("gzip", spec("asp"));
+    double dp = accuracy("gzip", spec("dp"));
+    double rp = accuracy("gzip", spec("rp"));
+    double mp = accuracy("gzip", spec("mp"));
     EXPECT_GT(asp, 0.9);
     EXPECT_GT(dp, 0.9);
     EXPECT_LT(rp, 0.1);
@@ -54,9 +49,9 @@ TEST(Integration, ColdStridedFavoursAspAndDp)
 TEST(Integration, HistoryAppsFavourRp)
 {
     // gcc: "RP giving the best, or close to the best performance".
-    double rp = accuracy("gcc", spec(Scheme::RP));
-    double dp = accuracy("gcc", spec(Scheme::DP));
-    double asp = accuracy("gcc", spec(Scheme::ASP));
+    double rp = accuracy("gcc", spec("rp"));
+    double dp = accuracy("gcc", spec("dp"));
+    double asp = accuracy("gcc", spec("asp"));
     EXPECT_GT(rp, 0.8);
     EXPECT_GT(rp, dp);
     EXPECT_LT(asp, 0.2);
@@ -66,9 +61,9 @@ TEST(Integration, AlternationFavoursMpOverRp)
 {
     // parser/vortex: MP's two slots capture alternating successors.
     for (const char *app : {"parser", "vortex"}) {
-        double mp = accuracy(app, spec(Scheme::MP));
-        double rp = accuracy(app, spec(Scheme::RP));
-        double asp = accuracy(app, spec(Scheme::ASP));
+        double mp = accuracy(app, spec("mp"));
+        double rp = accuracy(app, spec("rp"));
+        double asp = accuracy(app, spec("asp"));
         EXPECT_GT(mp, rp) << app;
         EXPECT_GT(mp, 0.8) << app;
         EXPECT_LT(asp, 0.1) << app;
@@ -79,10 +74,10 @@ TEST(Integration, DistancePatternsAreDpOnly)
 {
     // swim/mgrid/applu: DP much better than everything else.
     for (const char *app : {"swim", "mgrid", "applu"}) {
-        double dp = accuracy(app, spec(Scheme::DP));
-        double rp = accuracy(app, spec(Scheme::RP));
-        double mp = accuracy(app, spec(Scheme::MP));
-        double asp = accuracy(app, spec(Scheme::ASP));
+        double dp = accuracy(app, spec("dp"));
+        double rp = accuracy(app, spec("rp"));
+        double mp = accuracy(app, spec("mp"));
+        double asp = accuracy(app, spec("asp"));
         EXPECT_GT(dp, 0.8) << app;
         EXPECT_GT(dp, rp + 0.5) << app;
         EXPECT_GT(dp, mp + 0.5) << app;
@@ -95,10 +90,10 @@ TEST(Integration, GsmJpegOnlyDpPredicts)
     // "DP is the only mechanism which makes any noticeable
     // predictions (even if the accuracy does not exceed 20%)".
     for (const char *app : {"gsm-enc", "jpeg-dec"}) {
-        double dp = accuracy(app, spec(Scheme::DP));
-        double rp = accuracy(app, spec(Scheme::RP));
-        double asp = accuracy(app, spec(Scheme::ASP));
-        double mp = accuracy(app, spec(Scheme::MP));
+        double dp = accuracy(app, spec("dp"));
+        double rp = accuracy(app, spec("rp"));
+        double asp = accuracy(app, spec("asp"));
+        double mp = accuracy(app, spec("mp"));
         EXPECT_GT(dp, 0.2) << app;
         EXPECT_LT(rp, 0.1) << app;
         EXPECT_LT(asp, 0.1) << app;
@@ -109,10 +104,9 @@ TEST(Integration, GsmJpegOnlyDpPredicts)
 TEST(Integration, NobodyPredictsTheIrregularApps)
 {
     for (const char *app : {"fma3d", "eon", "pgp-dec"}) {
-        for (Scheme scheme : {Scheme::DP, Scheme::RP, Scheme::ASP,
-                              Scheme::MP}) {
-            EXPECT_LT(accuracy(app, spec(scheme)), 0.25)
-                << app << "/" << schemeName(scheme);
+        for (const char *mech : {"dp", "rp", "asp", "mp"}) {
+            EXPECT_LT(accuracy(app, spec(mech)), 0.25)
+                << app << "/" << mech;
         }
     }
 }
@@ -121,10 +115,10 @@ TEST(Integration, StreamingAppsDefeatSmallMarkovTables)
 {
     // adpcm: footprint far larger than the MP table -> MP near zero
     // while RP/ASP/DP all do well (paper's headline MP failure).
-    double mp = accuracy("adpcm-enc", spec(Scheme::MP));
-    double rp = accuracy("adpcm-enc", spec(Scheme::RP));
-    double asp = accuracy("adpcm-enc", spec(Scheme::ASP));
-    double dp = accuracy("adpcm-enc", spec(Scheme::DP));
+    double mp = accuracy("adpcm-enc", spec("mp"));
+    double rp = accuracy("adpcm-enc", spec("rp"));
+    double asp = accuracy("adpcm-enc", spec("asp"));
+    double dp = accuracy("adpcm-enc", spec("dp"));
     EXPECT_LT(mp, 0.05);
     EXPECT_GT(rp, 0.8);
     EXPECT_GT(asp, 0.7);
@@ -136,10 +130,10 @@ TEST(Integration, AllSchemesGoodOnRegularReTouch)
     // mesa/gap/facerec: "nearly all mechanisms give quite good
     // prediction accuracies" (MP included: footprint fits the table).
     for (const char *app : {"gap", "facerec"}) {
-        EXPECT_GT(accuracy(app, spec(Scheme::DP)), 0.8) << app;
-        EXPECT_GT(accuracy(app, spec(Scheme::RP)), 0.8) << app;
-        EXPECT_GT(accuracy(app, spec(Scheme::ASP)), 0.8) << app;
-        EXPECT_GT(accuracy(app, spec(Scheme::MP)), 0.8) << app;
+        EXPECT_GT(accuracy(app, spec("dp")), 0.8) << app;
+        EXPECT_GT(accuracy(app, spec("rp")), 0.8) << app;
+        EXPECT_GT(accuracy(app, spec("asp")), 0.8) << app;
+        EXPECT_GT(accuracy(app, spec("mp")), 0.8) << app;
     }
 }
 
@@ -147,8 +141,8 @@ TEST(Integration, GalgelMpNeedsLargeTable)
 {
     // galgel: MP poor at small r, because the data set needs more
     // rows than the table has (paper Section 3.2).
-    double mp_small = accuracy("galgel", spec(Scheme::MP, 256));
-    double mp_large = accuracy("galgel", spec(Scheme::MP, 1024));
+    double mp_small = accuracy("galgel", spec("mp"));
+    double mp_large = accuracy("galgel", spec("mp(rows=1024)"));
     EXPECT_LT(mp_small, 0.1);
     EXPECT_GT(mp_large, mp_small + 0.3);
 }
@@ -160,8 +154,8 @@ TEST(Integration, Table3AppsRpAccuracyAboveDp)
     // passes over each footprint to amortise its cold first pass, so
     // this test runs longer streams than the others.
     for (const std::string &app : table3Apps()) {
-        double rp = accuracy(app, spec(Scheme::RP), 1000000);
-        double dp = accuracy(app, spec(Scheme::DP), 1000000);
+        double rp = accuracy(app, spec("rp"), 1000000);
+        double dp = accuracy(app, spec("dp"), 1000000);
         EXPECT_GT(rp, dp) << app;
         EXPECT_GT(dp, 0.4) << app; // but DP is not far behind
     }
@@ -172,12 +166,12 @@ TEST(Integration, Table3DpWinsCyclesDespiteLowerAccuracy)
     // The paper's headline: despite RP's higher accuracy, DP comes
     // out ahead in execution cycles because RP's stack maintenance
     // costs up to 6 memory operations per miss.
-    PrefetcherSpec none = spec(Scheme::None);
+    MechanismSpec none = spec("none");
     for (const std::string &app : {std::string("ammp"),
                                    std::string("mcf")}) {
         TimingResult base = runTimed(app, none, kRefs);
-        TimingResult rp = runTimed(app, spec(Scheme::RP), kRefs);
-        TimingResult dp = runTimed(app, spec(Scheme::DP), kRefs);
+        TimingResult rp = runTimed(app, spec("rp"), kRefs);
+        TimingResult dp = runTimed(app, spec("dp"), kRefs);
         double rp_norm = static_cast<double>(rp.cycles) /
                          static_cast<double>(base.cycles);
         double dp_norm = static_cast<double>(dp.cycles) /
@@ -190,8 +184,8 @@ TEST(Integration, Table3DpWinsCyclesDespiteLowerAccuracy)
 TEST(Integration, McfRpSlowerThanNoPrefetching)
 {
     // Paper Table 3: mcf RP = 1.09 — prefetching makes it *slower*.
-    TimingResult base = runTimed("mcf", spec(Scheme::None), kRefs);
-    TimingResult rp = runTimed("mcf", spec(Scheme::RP), kRefs);
+    TimingResult base = runTimed("mcf", spec("none"), kRefs);
+    TimingResult rp = runTimed("mcf", spec("rp"), kRefs);
     EXPECT_GT(rp.cycles, base.cycles);
 }
 
@@ -200,8 +194,8 @@ TEST(Integration, DpSmallTableCloseToLarge)
     // Figure 9: "even a r=32 predictor table for DP gives very good
     // predictions".
     for (const char *app : {"galgel", "adpcm-enc", "swim"}) {
-        double dp32 = accuracy(app, spec(Scheme::DP, 32));
-        double dp1024 = accuracy(app, spec(Scheme::DP, 1024));
+        double dp32 = accuracy(app, spec("dp(rows=32)"));
+        double dp1024 = accuracy(app, spec("dp(rows=1024)"));
         EXPECT_GT(dp32, dp1024 - 0.15) << app;
     }
 }
@@ -215,8 +209,7 @@ TEST(Integration, AverageAccuracyOrderingMatchesTable2)
                           "galgel", "vortex", "ammp", "adpcm-enc",
                           "gsm-enc", "mpegply", "anagram"};
     double sum[4] = {0, 0, 0, 0};
-    const Scheme schemes[] = {Scheme::DP, Scheme::RP, Scheme::ASP,
-                              Scheme::MP};
+    const char *const schemes[] = {"dp", "rp", "asp", "mp"};
     for (const char *app : apps) {
         for (int i = 0; i < 4; ++i)
             sum[i] += accuracy(app, spec(schemes[i]), 200000);

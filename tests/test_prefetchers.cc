@@ -7,7 +7,7 @@
 
 #include "prefetch/asp.hh"
 #include "prefetch/distance.hh"
-#include "prefetch/factory.hh"
+#include "prefetch/mech_spec.hh"
 #include "prefetch/markov.hh"
 #include "prefetch/recency.hh"
 #include "prefetch/sequential.hh"
@@ -312,48 +312,46 @@ TEST(Distance, ResetClears)
     EXPECT_TRUE(miss(dp, 51).targets.empty());
 }
 
-// ----------------------------------------------------------- factory
+// ---------------------------------------------------------- registry
 
-TEST(Factory, BuildsEveryScheme)
+TEST(Factory, BuildsEveryMechanism)
 {
     PageTable pt;
-    for (Scheme scheme : {Scheme::SP, Scheme::ASP, Scheme::MP,
-                          Scheme::RP, Scheme::DP}) {
-        PrefetcherSpec spec;
-        spec.scheme = scheme;
-        auto pf = makePrefetcher(spec, pt);
-        ASSERT_NE(pf, nullptr);
-        EXPECT_EQ(pf->name(), schemeName(scheme));
+    const std::pair<const char *, const char *> cases[] = {
+        {"sp", "SP"}, {"asp", "ASP"}, {"mp", "MP"},
+        {"rp", "RP"}, {"dp", "DP"}};
+    for (const auto &[text, name] : cases) {
+        auto pf = MechanismSpec::parse(text).build(pt);
+        ASSERT_NE(pf, nullptr) << text;
+        EXPECT_EQ(pf->name(), name);
     }
 }
 
 TEST(Factory, NoneYieldsNull)
 {
     PageTable pt;
-    PrefetcherSpec spec;
-    spec.scheme = Scheme::None;
-    EXPECT_EQ(makePrefetcher(spec, pt), nullptr);
+    EXPECT_EQ(MechanismSpec::none().build(pt), nullptr);
+    EXPECT_EQ(MechanismSpec::parse("none").build(pt), nullptr);
 }
 
-TEST(Factory, SchemeNamesRoundTrip)
+TEST(Factory, MechanismNamesRoundTrip)
 {
-    for (Scheme s : {Scheme::None, Scheme::SP, Scheme::ASP, Scheme::MP,
-                     Scheme::RP, Scheme::DP})
-        EXPECT_EQ(parseScheme(schemeName(s)), s);
-    EXPECT_EXIT(parseScheme("XYZ"), ::testing::ExitedWithCode(1),
-                "unknown prefetching scheme");
+    for (const char *name : {"none", "SP,1", "ASP,256,D", "MP,256,D",
+                             "RP", "DP,256,D"}) {
+        MechanismSpec spec = MechanismSpec::parse(name);
+        EXPECT_EQ(spec.label(), name);
+        EXPECT_EQ(MechanismSpec::parse(spec.label()), spec);
+    }
+    EXPECT_EXIT(parseMechanismOrDie("XYZ"),
+                ::testing::ExitedWithCode(1), "unknown mechanism");
 }
 
 TEST(Factory, SpecLabels)
 {
-    PrefetcherSpec spec;
-    spec.scheme = Scheme::DP;
-    spec.table = TableConfig{128, TableAssoc::TwoWay};
-    EXPECT_EQ(spec.label(), "DP,128,2");
-    spec.scheme = Scheme::RP;
-    EXPECT_EQ(spec.label(), "RP");
-    spec.scheme = Scheme::None;
-    EXPECT_EQ(spec.label(), "none");
+    EXPECT_EQ(MechanismSpec::parse("dp(rows=128,assoc=2w)").label(),
+              "DP,128,2");
+    EXPECT_EQ(MechanismSpec::parse("rp").label(), "RP");
+    EXPECT_EQ(MechanismSpec::none().label(), "none");
 }
 
 } // namespace

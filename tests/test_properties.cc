@@ -62,7 +62,7 @@ mixedStream(std::uint64_t seed, std::size_t n)
 
 struct SweepParam
 {
-    Scheme scheme;
+    const char *mech;
     std::uint32_t tlbEntries;
     std::uint32_t tlbAssoc;
     std::uint32_t pbEntries;
@@ -79,12 +79,8 @@ TEST_P(SchemeSweep, MissSequenceInvariantAndCounterSanity)
     config.tlb = TlbConfig{param.tlbEntries, param.tlbAssoc};
     config.pbEntries = param.pbEntries;
 
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
-    PrefetcherSpec spec;
-    spec.scheme = param.scheme;
-    spec.table = TableConfig{64, TableAssoc::Direct};
-    spec.slots = 2;
+    MechanismSpec none = MechanismSpec::none();
+    MechanismSpec spec = MechanismSpec::parse(param.mech);
 
     auto refs = mixedStream(param.tlbEntries * 7919 + param.pbEntries,
                             20000);
@@ -117,23 +113,23 @@ TEST_P(SchemeSweep, MissSequenceInvariantAndCounterSanity)
 INSTANTIATE_TEST_SUITE_P(
     AllSchemesAllGeometries, SchemeSweep,
     ::testing::Values(
-        SweepParam{Scheme::SP, 64, 0, 16},
-        SweepParam{Scheme::SP, 128, 4, 32},
-        SweepParam{Scheme::ASP, 64, 2, 16},
-        SweepParam{Scheme::ASP, 128, 0, 16},
-        SweepParam{Scheme::ASP, 256, 4, 64},
-        SweepParam{Scheme::MP, 64, 0, 16},
-        SweepParam{Scheme::MP, 128, 2, 32},
-        SweepParam{Scheme::MP, 256, 0, 16},
-        SweepParam{Scheme::RP, 64, 0, 16},
-        SweepParam{Scheme::RP, 128, 0, 64},
-        SweepParam{Scheme::RP, 256, 2, 16},
-        SweepParam{Scheme::DP, 64, 0, 16},
-        SweepParam{Scheme::DP, 128, 2, 16},
-        SweepParam{Scheme::DP, 256, 4, 32}),
+        SweepParam{"sp", 64, 0, 16},
+        SweepParam{"sp", 128, 4, 32},
+        SweepParam{"asp(rows=64)", 64, 2, 16},
+        SweepParam{"asp(rows=64)", 128, 0, 16},
+        SweepParam{"asp(rows=64)", 256, 4, 64},
+        SweepParam{"mp(rows=64)", 64, 0, 16},
+        SweepParam{"mp(rows=64)", 128, 2, 32},
+        SweepParam{"mp(rows=64)", 256, 0, 16},
+        SweepParam{"rp", 64, 0, 16},
+        SweepParam{"rp", 128, 0, 64},
+        SweepParam{"rp", 256, 2, 16},
+        SweepParam{"dp(rows=64)", 64, 0, 16},
+        SweepParam{"dp(rows=64)", 128, 2, 16},
+        SweepParam{"dp(rows=64)", 256, 4, 32}),
     [](const ::testing::TestParamInfo<SweepParam> &info) {
         const SweepParam &p = info.param;
-        return schemeName(p.scheme) + "_t" +
+        return MechanismSpec::parse(p.mech).shortName() + "_t" +
                std::to_string(p.tlbEntries) + "w" +
                std::to_string(p.tlbAssoc) + "b" +
                std::to_string(p.pbEntries);
@@ -269,8 +265,7 @@ TEST_P(BufferSweep, SequentialSpAccuracyHighForAnyCapacity)
     SimConfig config;
     config.tlb = TlbConfig{16, 0};
     config.pbEntries = GetParam();
-    PrefetcherSpec sp;
-    sp.scheme = Scheme::SP;
+    MechanismSpec sp = MechanismSpec::parse("sp");
     std::vector<MemRef> refs;
     for (Vpn p = 0; p < 2000; ++p)
         refs.push_back(MemRef{p * kDefaultPageBytes, 0, false, p});
@@ -296,8 +291,7 @@ TEST_P(PenaltySweep, CyclesGrowWithPenalty)
     auto refs = mixedStream(99, 20000);
     VectorStream s1(refs);
     VectorStream s2(refs);
-    PrefetcherSpec none;
-    none.scheme = Scheme::None;
+    MechanismSpec none = MechanismSpec::none();
     SimConfig config;
     TimingResult a = simulateTimed(config, cheap, none, s1);
     TimingResult b = simulateTimed(config, costly, none, s2);

@@ -30,11 +30,10 @@ mixedBatch()
 {
     std::vector<SweepJob> jobs;
     for (const char *app : {"gcc", "mcf", "swim"})
-        for (const PrefetcherSpec &spec : table2Specs())
+        for (const MechanismSpec &spec : table2Specs())
             jobs.push_back(SweepJob::functional(WorkloadSpec::app(app),
                                                 spec, kRefs));
-    PrefetcherSpec rp;
-    rp.scheme = Scheme::RP;
+    MechanismSpec rp = MechanismSpec::parse("rp");
     jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"), rp,
                                    kRefs));
     return jobs;
@@ -98,8 +97,7 @@ TEST(SweepEngine, EmptyBatch)
 
 TEST(SweepEngine, SingleJobMatchesDirectRun)
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepEngine engine(4);
     std::vector<SweepResult> results =
         engine.run({SweepJob::functional(WorkloadSpec::app("gcc"),
@@ -137,8 +135,7 @@ TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
 
 TEST(SweepEngine, ZeroRefJobThrowsFromWorker)
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     std::vector<SweepJob> jobs = {
         SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs),
         SweepJob::functional(WorkloadSpec::app("mcf"), dp,
@@ -151,8 +148,7 @@ TEST(SweepEngine, ZeroRefJobThrowsFromWorker)
 
 TEST(SweepEngine, UnknownAppThrowsFromWorker)
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepEngine engine(2);
     EXPECT_THROW(
         engine.run({SweepJob::functional(
@@ -165,8 +161,7 @@ TEST(SweepEngine, BadWorkloadsInsideABatchThrowAfterTheBatchDrains)
     // Every flavour of bad workload must come back as the engine's
     // std::invalid_argument — never a process exit from a worker
     // thread — even when sandwiched between healthy cells.
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     for (const char *bad :
          {"no-such-app", "trace:/nonexistent/trace.tpf",
           "mix:gcc+no-such-app@1k"}) {
@@ -184,8 +179,7 @@ TEST(SweepEngine, BadWorkloadsInsideABatchThrowAfterTheBatchDrains)
 void
 runBatchAtBenchBoundary()
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     std::vector<SweepJob> jobs;
     jobs.push_back(
         SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs));

@@ -38,20 +38,17 @@ tinyConfig()
     return config;
 }
 
-PrefetcherSpec
-spec(Scheme scheme)
+MechanismSpec
+spec(const std::string &text)
 {
-    PrefetcherSpec s;
-    s.scheme = scheme;
-    s.table = TableConfig{64, TableAssoc::Direct};
-    return s;
+    return MechanismSpec::parse(text);
 }
 
 TEST(TimingSim, NoMissesMeansNoStalls)
 {
     VectorStream stream(pagedRefs({1, 1, 1, 1}, 10));
     TimingResult r =
-        simulateTimed(tinyConfig(), TimingConfig{}, spec(Scheme::None),
+        simulateTimed(tinyConfig(), TimingConfig{}, spec("none"),
                       stream);
     EXPECT_EQ(r.stallCycles, 100u); // only the single cold miss
     EXPECT_EQ(r.computeCycles, 30u);
@@ -62,7 +59,7 @@ TEST(TimingSim, EachDemandMissCostsThePenalty)
 {
     VectorStream stream(pagedRefs({1, 2, 3}, 1000));
     TimingResult r =
-        simulateTimed(tinyConfig(), TimingConfig{}, spec(Scheme::None),
+        simulateTimed(tinyConfig(), TimingConfig{}, spec("none"),
                       stream);
     EXPECT_EQ(r.stallCycles, 300u);
 }
@@ -73,7 +70,7 @@ TEST(TimingSim, BaseCpiScalesComputeCycles)
     timing.baseCpi = 2.0;
     VectorStream stream(pagedRefs({1, 1}, 50));
     TimingResult r = simulateTimed(tinyConfig(), timing,
-                                   spec(Scheme::None), stream);
+                                   spec("none"), stream);
     EXPECT_EQ(r.computeCycles, 100u);
 }
 
@@ -83,7 +80,7 @@ TEST(TimingSim, CompletedPrefetchEliminatesStall)
     // far enough in the future that the prefetch has landed.
     VectorStream stream(pagedRefs({1, 2}, 1000));
     TimingResult r = simulateTimed(tinyConfig(), TimingConfig{},
-                                   spec(Scheme::SP), stream);
+                                   spec("sp"), stream);
     EXPECT_EQ(r.functional.pbHits, 1u);
     EXPECT_EQ(r.inFlightHits, 0u);
     EXPECT_EQ(r.stallCycles, 100u); // only the cold miss on page 1
@@ -98,7 +95,7 @@ TEST(TimingSim, InFlightPrefetchStallsPartially)
     timing.memOpCost = 300;
     VectorStream stream(pagedRefs({1, 2}, 3));
     TimingResult r =
-        simulateTimed(tinyConfig(), timing, spec(Scheme::SP), stream);
+        simulateTimed(tinyConfig(), timing, spec("sp"), stream);
     EXPECT_EQ(r.functional.pbHits, 1u);
     EXPECT_EQ(r.inFlightHits, 1u);
     // Cold miss (100) + remaining in-flight time (300 - 103 = 197).
@@ -114,7 +111,7 @@ TEST(TimingSim, DemandFetchDelayedByChannelBacklog)
     timing.memOpCost = 500;
     VectorStream stream(pagedRefs({1, 10}, 1));
     TimingResult r =
-        simulateTimed(tinyConfig(), timing, spec(Scheme::SP), stream);
+        simulateTimed(tinyConfig(), timing, spec("sp"), stream);
     // 100 (cold) + (500 - 101 + 100) for the delayed demand fetch.
     EXPECT_EQ(r.stallCycles, 100u + 499u);
 }
@@ -134,7 +131,7 @@ TEST(TimingSim, RpSkipsPrefetchesWhenChannelBusy)
     }
     VectorStream stream(std::move(refs));
     TimingResult r = simulateTimed(tinyConfig(), TimingConfig{},
-                                   spec(Scheme::RP), stream);
+                                   spec("rp"), stream);
     EXPECT_GT(r.prefetchesSkippedBusy, 0u);
 }
 
@@ -151,15 +148,15 @@ TEST(TimingSim, DpNeverSkips)
     }
     VectorStream stream(std::move(refs));
     TimingResult r = simulateTimed(tinyConfig(), TimingConfig{},
-                                   spec(Scheme::DP), stream);
+                                   spec("dp(rows=64)"), stream);
     EXPECT_EQ(r.prefetchesSkippedBusy, 0u);
 }
 
 TEST(TimingSim, RpGeneratesMoreMemoryTrafficThanDp)
 {
     // Paper Section 3.2: RP's traffic is 2-3x DP's.
-    TimingResult rp = runTimed("ammp", spec(Scheme::RP), 200000);
-    TimingResult dp = runTimed("ammp", spec(Scheme::DP), 200000);
+    TimingResult rp = runTimed("ammp", spec("rp"), 200000);
+    TimingResult dp = runTimed("ammp", spec("dp(rows=64)"), 200000);
     EXPECT_GT(rp.memoryOps, dp.memoryOps);
     EXPECT_GE(static_cast<double>(rp.memoryOps),
               1.5 * static_cast<double>(dp.memoryOps));
@@ -182,9 +179,9 @@ TEST(TimingSim, MemOpCostScalesChannelPressure)
     VectorStream s1(refs);
     VectorStream s2(refs);
     TimingResult fast =
-        simulateTimed(tinyConfig(), cheap, spec(Scheme::RP), s1);
+        simulateTimed(tinyConfig(), cheap, spec("rp"), s1);
     TimingResult slow =
-        simulateTimed(tinyConfig(), expensive, spec(Scheme::RP), s2);
+        simulateTimed(tinyConfig(), expensive, spec("rp"), s2);
     EXPECT_LT(fast.cycles, slow.cycles);
 }
 
@@ -193,9 +190,9 @@ TEST(TimingSim, FunctionalCountersMatchFunctionalSimWithoutPrefetch)
     auto stream1 = buildApp("gcc", 100000);
     auto stream2 = buildApp("gcc", 100000);
     SimResult functional =
-        simulate(SimConfig{}, spec(Scheme::None), *stream1);
+        simulate(SimConfig{}, spec("none"), *stream1);
     TimingResult timed = simulateTimed(SimConfig{}, TimingConfig{},
-                                       spec(Scheme::None), *stream2);
+                                       spec("none"), *stream2);
     EXPECT_EQ(timed.functional.refs, functional.refs);
     EXPECT_EQ(timed.functional.misses, functional.misses);
 }
@@ -203,8 +200,8 @@ TEST(TimingSim, FunctionalCountersMatchFunctionalSimWithoutPrefetch)
 TEST(TimingSim, PrefetchingSpeedsUpStridedApp)
 {
     // galgel: strided re-touch; DP should clearly beat no-prefetching.
-    TimingResult base = runTimed("galgel", spec(Scheme::None), 150000);
-    TimingResult dp = runTimed("galgel", spec(Scheme::DP), 150000);
+    TimingResult base = runTimed("galgel", spec("none"), 150000);
+    TimingResult dp = runTimed("galgel", spec("dp(rows=64)"), 150000);
     EXPECT_LT(dp.cycles, base.cycles);
 }
 

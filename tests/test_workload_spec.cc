@@ -236,10 +236,7 @@ counters(const SimResult &r)
 TEST(WorkloadSpecShard, MergedCountersAreBitIdenticalToUnsharded)
 {
     constexpr std::uint64_t kRefs = 30000;
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
-    dp.table = TableConfig{256, TableAssoc::Direct};
-    dp.slots = 2;
+    MechanismSpec dp = MechanismSpec::parse("dp");
 
     for (const char *workload :
          {"gcc", "mix:mcf+gcc@1k"}) {
@@ -266,8 +263,7 @@ TEST(WorkloadSpecShard, MergedCountersAreBitIdenticalToUnsharded)
 TEST(WorkloadSpecShard, EngineRunShardedMatchesPlainRun)
 {
     constexpr std::uint64_t kRefs = 20000;
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     std::vector<SweepJob> jobs = {
         SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs),
         SweepJob::functional(WorkloadSpec::app("swim"), dp, kRefs),
@@ -289,8 +285,7 @@ TEST(WorkloadSpecShard, ExplicitSingleShardJobsPassThroughUnmerged)
     // never a merge error, and never accidental folding of adjacent
     // cells that happen to look like consecutive shards.
     constexpr std::uint64_t kRefs = 20000;
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepEngine engine(2);
     std::vector<SweepJob> both = {
         SweepJob::functional(WorkloadSpec::parse("gcc#0/2"), dp,
@@ -337,8 +332,7 @@ TEST(WorkloadSpecBuild, CorruptTraceBodyThrowsInsteadOfExiting)
         std::fwrite(bytes.data(), 1, bytes.size() / 2, f);
         std::fclose(f);
     }
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepEngine engine(4);
     EXPECT_THROW(
         engine.run({SweepJob::functional(
@@ -349,8 +343,7 @@ TEST(WorkloadSpecBuild, CorruptTraceBodyThrowsInsteadOfExiting)
 
 TEST(WorkloadSpecShard, ShardedTimingCellIsRejected)
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepJob job = SweepJob::timed(
         WorkloadSpec::app("gcc").withShard(0, 2), dp, 1000);
     EXPECT_THROW(runSweepJob(job), std::invalid_argument);
@@ -358,8 +351,7 @@ TEST(WorkloadSpecShard, ShardedTimingCellIsRejected)
 
 TEST(SweepResultLabels, ResolvedWorkloadLabelIsRecorded)
 {
-    PrefetcherSpec dp;
-    dp.scheme = Scheme::DP;
+    MechanismSpec dp = MechanismSpec::parse("dp");
     SweepResult r = runSweepJob(SweepJob::functional(
         WorkloadSpec::parse("mix:mcf+gcc@1k"), dp, 5000));
     EXPECT_EQ(r.workload, "mix:mcf+gcc@1k");
@@ -367,16 +359,6 @@ TEST(SweepResultLabels, ResolvedWorkloadLabelIsRecorded)
     SweepResult shard = runSweepJob(SweepJob::functional(
         WorkloadSpec::parse("gcc#1/4"), dp, 5000));
     EXPECT_EQ(shard.workload, "gcc#1/4");
-}
-
-TEST(SweepJobCompat, DeprecatedStringOverloadStillParses)
-{
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    SweepJob job =
-        SweepJob::functional(std::string("mcf"), PrefetcherSpec{}, 100);
-#pragma GCC diagnostic pop
-    EXPECT_EQ(job.workload, WorkloadSpec::app("mcf"));
 }
 
 TEST(WorkloadSpecCli, ParseWorkloadOrDieExitsOnSyntaxError)
