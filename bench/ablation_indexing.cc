@@ -104,6 +104,35 @@ class IndexedDistancePrefetcher : public Prefetcher
         _hasPrevDist = false;
     }
 
+    // Checkpoint hooks: dpx is registered through the public registry
+    // API only, and these overrides are all it takes for the sweep
+    // engine's checkpoint-chained --shards warm-up to cover it too.
+    bool checkpointable() const override { return true; }
+
+    void
+    snapshotState(SnapshotWriter &out) const override
+    {
+        _table.snapshotSlotState(out);
+        out.u64(_prevPage);
+        out.u64(_prevPc);
+        out.i64(_prevDist);
+        out.i64(_prevPrevDist);
+        out.boolean(_hasPrev);
+        out.boolean(_hasPrevDist);
+    }
+
+    void
+    restoreState(SnapshotReader &in) override
+    {
+        _table.restoreSlotState(in, _slots);
+        _prevPage = in.u64();
+        _prevPc = in.u64();
+        _prevDist = in.i64();
+        _prevPrevDist = in.i64();
+        _hasPrev = in.boolean();
+        _hasPrevDist = in.boolean();
+    }
+
     std::string name() const override { return "DPx"; }
 
     std::string

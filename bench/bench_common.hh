@@ -29,10 +29,17 @@
  *                                  "hybrid(dp+sp),rp" is two specs)
  *   --list-mechanisms              print the registry (names, aliases,
  *                                  typed parameters) and exit
- *   --scheme NAME [--rows R] [--assoc A] [--slots S] [--degree D]
- *   [--adaptive] [--reach N]       deprecated per-scheme flags, kept
- *                                  for one release; translated to the
- *                                  equivalent --mech spec string
+ *   --shard-warmup replay|checkpoint
+ *                                  how shards reconstruct their warm
+ *                                  state: independent prefix replay
+ *                                  (~(N+1)/2x total CPU, best latency
+ *                                  on many cores) or the default
+ *                                  checkpoint chain (~1x total CPU)
+ *
+ * The pre-registry per-scheme flags (--scheme/--rows/--assoc/--slots/
+ * --degree/--adaptive/--reach) were deprecated in the release that
+ * introduced --mech and have now been removed; passing one fails with
+ * an error naming the equivalent --mech spec string.
  */
 
 #ifndef TLBPF_BENCH_BENCH_COMMON_HH
@@ -67,6 +74,8 @@ struct BenchOptions
     std::vector<MechanismSpec> mechs;    ///< explicit --mech list
     unsigned threads = 1;          ///< sweep-engine worker count
     std::uint32_t shards = 1;      ///< shard fan-out per functional cell
+    /** How sharded cells warm up (--shard-warmup). */
+    ShardWarmup shardWarmup = ShardWarmup::Checkpoint;
 };
 
 /** The option names every bench accepts (one source of truth). */
@@ -75,11 +84,20 @@ standardBenchFlags()
 {
     return {"refs",     "csv",    "json",     "apps",
             "threads",  "workload", "app",    "shards",
-            "mech",     "list-mechanisms",
-            // Deprecated per-scheme flags (one release, translated to
-            // a --mech spec string).
-            "scheme",   "rows",   "assoc",    "slots",
-            "degree",   "adaptive", "reach"};
+            "shard-warmup", "mech", "list-mechanisms"};
+}
+
+/**
+ * The pre-registry per-scheme flags, removed after their one-release
+ * deprecation window.  They are still *recognised* (so option parsing
+ * can collect their values) but rejected with an error that names the
+ * equivalent --mech spec string, instead of a bare "unknown option".
+ */
+inline std::vector<std::string>
+removedSchemeFlags()
+{
+    return {"scheme", "rows",     "assoc", "slots",
+            "degree", "adaptive", "reach"};
 }
 
 /** Print the mechanism registry (for --list-mechanisms) and exit 0. */
@@ -132,16 +150,15 @@ listMechanismsAndExit()
 }
 
 /**
- * Translate the deprecated per-scheme flags (--scheme/--rows/--assoc/
- * --slots/--degree/--adaptive/--reach) into the equivalent spec
- * string, so pre-registry sweep scripts keep working for one release.
- * Unknown keys for the named mechanism are rejected by the registry
- * with the usual actionable message.
+ * The --mech spec string equivalent to a removed per-scheme flag
+ * combination, used to make the rejection error actionable.  Without
+ * --scheme the mechanism name is unknown; "<mechanism>" stands in.
  */
 inline std::string
-legacySchemeSpecString(const CliArgs &args)
+removedSchemeSpecString(const CliArgs &args)
 {
-    std::string spec = args.get("scheme");
+    std::string spec =
+        args.has("scheme") ? args.get("scheme") : "<mechanism>";
     std::string params;
     auto append = [&params](const std::string &kv) {
         params += (params.empty() ? "" : ",") + kv;
@@ -155,8 +172,6 @@ legacySchemeSpecString(const CliArgs &args)
     if (args.has("degree"))
         append("degree=" + args.get("degree"));
     if (args.has("adaptive")) {
-        // Preserve an explicit value (--adaptive=false must disable);
-        // a bare --adaptive stays the bare flag form.
         std::string value = args.get("adaptive");
         append(value.empty() ? "adaptive" : "adaptive=" + value);
     }
@@ -164,11 +179,25 @@ legacySchemeSpecString(const CliArgs &args)
         append("reach=" + args.get("reach"));
     if (!params.empty())
         spec += "(" + params + ")";
-    std::fprintf(stderr,
-                 "warning: --scheme and the per-scheme flags are "
-                 "deprecated; use --mech '%s'\n",
-                 spec.c_str());
     return spec;
+}
+
+/**
+ * Fatal if any removed per-scheme flag is present, naming the --mech
+ * spec string that replaces the given combination.
+ */
+inline void
+rejectRemovedSchemeFlags(const CliArgs &args)
+{
+    std::string seen;
+    for (const std::string &flag : removedSchemeFlags())
+        if (args.has(flag))
+            seen += (seen.empty() ? "--" : ", --") + flag;
+    if (seen.empty())
+        return;
+    tlbpf_fatal(seen, ": the per-scheme flags were removed after "
+                      "their deprecation window; use --mech '",
+                removedSchemeSpecString(args), "'");
 }
 
 inline BenchOptions
@@ -176,9 +205,12 @@ parseBenchOptions(int argc, const char *const *argv,
                   std::vector<std::string> extra_known = {})
 {
     std::vector<std::string> known = standardBenchFlags();
+    for (const std::string &k : removedSchemeFlags())
+        known.push_back(k);
     for (auto &k : extra_known)
         known.push_back(k);
     CliArgs args(argc, argv, known);
+    rejectRemovedSchemeFlags(args);
     if (args.has("list-mechanisms"))
         listMechanismsAndExit();
     BenchOptions options;
@@ -195,13 +227,6 @@ parseBenchOptions(int argc, const char *const *argv,
         options.workloads.push_back(parseWorkloadOrDie("app:" + name));
     if (args.has("mech"))
         options.mechs = parseMechanismListOrDie(args.get("mech"));
-    if (args.has("scheme")) {
-        if (args.has("mech"))
-            tlbpf_fatal("--scheme (deprecated) and --mech are "
-                        "mutually exclusive; use --mech");
-        options.mechs.push_back(
-            parseMechanismOrDie(legacySchemeSpecString(args)));
-    }
     std::int64_t threads = args.getInt(
         "threads",
         static_cast<std::int64_t>(ThreadPool::defaultThreadCount()));
@@ -213,6 +238,14 @@ parseBenchOptions(int argc, const char *const *argv,
     if (shards < 1 || shards > 4096)
         tlbpf_fatal("--shards must be in [1, 4096], got ", shards);
     options.shards = static_cast<std::uint32_t>(shards);
+    if (args.has("shard-warmup")) {
+        try {
+            options.shardWarmup =
+                parseShardWarmup(args.get("shard-warmup"));
+        } catch (const std::invalid_argument &e) {
+            tlbpf_fatal(e.what());
+        }
+    }
     return options;
 }
 
@@ -324,23 +357,40 @@ recordSinks(const BenchOptions &options)
 /**
  * Run @p jobs on an engine with options.threads workers, applying the
  * --shards map/reduce (each functional cell fans out into
- * options.shards merged shard jobs), and converting a malformed-job
- * exception into the clean fatal exit the bench binaries document
- * (reachable via --refs 0, an unknown app, or a bad trace path).
- * Returns one result per entry of @p jobs.
+ * options.shards merged shard jobs, warmed per --shard-warmup), and
+ * converting a malformed-job exception into the clean fatal exit the
+ * bench binaries document (reachable via --refs 0, an unknown app, or
+ * a bad trace path).  Returns one result per entry of @p jobs.
  */
 inline std::vector<SweepResult>
 runBatch(const BenchOptions &options, const std::vector<SweepJob> &jobs)
 {
     try {
+        // No point spinning up more workers than the schedule has
+        // independent tasks (checkpoint chains serialise a cell's
+        // shards into one task).
         ShardPlan plan = expandShards(jobs, options.shards);
-        // No point spinning up more workers than there are cells.
+        std::size_t tasks = std::max<std::size_t>(
+            shardTaskCount(plan, options.shardWarmup), 1);
+        if (options.shardWarmup == ShardWarmup::Checkpoint &&
+            options.shards > 1 && tasks < options.threads) {
+            // Chaining trades replay's wall-clock fan-out for ~1x
+            // total CPU; with fewer cells than workers that trade is
+            // worth flagging so nobody waits on a silently-serial
+            // giant cell.
+            std::fprintf(stderr,
+                         "note: checkpoint warm-up chains each "
+                         "cell's shards into one task (%zu task%s "
+                         "for --threads %u); use --shard-warmup "
+                         "replay to trade ~(N+1)/2x total CPU for "
+                         "wall-clock fan-out of few large cells\n",
+                         tasks, tasks == 1 ? "" : "s",
+                         options.threads);
+        }
         unsigned threads = static_cast<unsigned>(
-            std::min<std::size_t>(options.threads,
-                                  std::max<std::size_t>(
-                                      plan.jobs.size(), 1)));
+            std::min<std::size_t>(options.threads, tasks));
         SweepEngine engine(threads);
-        return mergeShardResults(plan, engine.run(plan.jobs));
+        return engine.runSharded(plan, options.shardWarmup);
     } catch (const std::invalid_argument &e) {
         tlbpf_fatal(e.what());
     }

@@ -67,6 +67,28 @@ DistancePredictor::reset()
     _observations = 0;
 }
 
+void
+DistancePredictor::snapshotState(SnapshotWriter &out) const
+{
+    _table.snapshotSlotState(out);
+    out.u64(_prevUnit);
+    out.i64(_prevDist);
+    out.boolean(_hasPrevUnit);
+    out.boolean(_hasPrevDist);
+    out.u64(_observations);
+}
+
+void
+DistancePredictor::restoreState(SnapshotReader &in)
+{
+    _table.restoreSlotState(in, _config.slots);
+    _prevUnit = in.u64();
+    _prevDist = in.i64();
+    _hasPrevUnit = in.boolean();
+    _hasPrevDist = in.boolean();
+    _observations = in.u64();
+}
+
 std::uint64_t
 DistancePredictor::storageBits() const
 {

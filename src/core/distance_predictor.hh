@@ -57,6 +57,12 @@ class DistancePredictor
     /** Forget all history (e.g. on context switch). */
     void reset();
 
+    /** Serialize the table and the prev-unit/prev-distance history. */
+    void snapshotState(SnapshotWriter &out) const;
+
+    /** Restore state written by snapshotState(); throws on mismatch. */
+    void restoreState(SnapshotReader &in);
+
     const DistancePredictorConfig &config() const { return _config; }
 
     /** Diagnostics. */

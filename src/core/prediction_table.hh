@@ -18,6 +18,7 @@
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -161,6 +162,86 @@ class PredictionTable
         return n;
     }
 
+    /**
+     * Serialize the table (LRU clock, hit/miss/eviction counters and
+     * every valid row) into @p out.  @p write_payload emits one row's
+     * Payload; rows are visited in physical order, so the byte string
+     * is canonical for a given table state.
+     */
+    template <typename WritePayload>
+    void
+    snapshotState(SnapshotWriter &out, WritePayload &&write_payload) const
+    {
+        out.u64(_clock);
+        out.u64(_hits);
+        out.u64(_misses);
+        out.u64(_evictions);
+        out.u64(_rows.size());
+        for (const Row &row : _rows) {
+            out.boolean(row.valid);
+            if (!row.valid)
+                continue;
+            out.u64(row.key);
+            out.u64(row.lastUse);
+            write_payload(out, row.payload);
+        }
+    }
+
+    /**
+     * Restore state written by snapshotState() into a table of the
+     * same geometry; throws std::invalid_argument (via
+     * SnapshotReader::fail) if the row count differs.
+     */
+    template <typename ReadPayload>
+    void
+    restoreState(SnapshotReader &in, ReadPayload &&read_payload)
+    {
+        _clock = in.u64();
+        _hits = in.u64();
+        _misses = in.u64();
+        _evictions = in.u64();
+        std::uint64_t rows = in.u64();
+        if (rows != _rows.size())
+            SnapshotReader::fail(
+                "prediction table has " + std::to_string(rows) +
+                " rows, expected " + std::to_string(_rows.size()));
+        for (Row &row : _rows) {
+            row.valid = in.boolean();
+            if (!row.valid) {
+                row.key = 0;
+                row.lastUse = 0;
+                row.payload = Payload{};
+                continue;
+            }
+            row.key = in.u64();
+            row.lastUse = in.u64();
+            read_payload(in, row.payload);
+        }
+    }
+
+    /**
+     * snapshotState()/restoreState() for the common case of a SlotLru
+     * payload (MP's successor pages, DP's distances): forwards each
+     * row to the payload's own serializer, with @p slots as the
+     * capacity every allocated row must carry.  Only instantiated by
+     * tables whose Payload provides the methods.
+     */
+    void
+    snapshotSlotState(SnapshotWriter &out) const
+    {
+        snapshotState(out, [](SnapshotWriter &w, const Payload &p) {
+            p.snapshotState(w);
+        });
+    }
+
+    void
+    restoreSlotState(SnapshotReader &in, std::size_t slots)
+    {
+        restoreState(in, [slots](SnapshotReader &r, Payload &p) {
+            p.restoreState(r, slots);
+        });
+    }
+
   private:
     struct Row
     {
@@ -256,6 +337,40 @@ class SlotLru
     }
 
     void clear() { _size = 0; }
+
+    /** Serialize capacity, occupancy and slots in LRU order. */
+    void
+    snapshotState(SnapshotWriter &out) const
+    {
+        out.u64(_capacity);
+        out.u64(_size);
+        for (std::size_t i = 0; i < _size; ++i)
+            out.u64(static_cast<std::uint64_t>(_slots[i]));
+    }
+
+    /**
+     * Restore state written by snapshotState().  The serialized
+     * capacity must equal @p expected_capacity (the owning
+     * mechanism's slots parameter) — like every other component,
+     * restoring into a different geometry throws rather than silently
+     * reshaping the table.
+     */
+    void
+    restoreState(SnapshotReader &in, std::size_t expected_capacity)
+    {
+        std::uint64_t capacity = in.u64();
+        std::uint64_t size = in.u64();
+        if (capacity != expected_capacity)
+            SnapshotReader::fail(
+                "slot list capacity " + std::to_string(capacity) +
+                ", expected " + std::to_string(expected_capacity));
+        if (capacity < 1 || capacity > MaxSlots || size > capacity)
+            SnapshotReader::fail("slot list shape out of range");
+        _capacity = static_cast<std::size_t>(capacity);
+        _size = static_cast<std::size_t>(size);
+        for (std::size_t i = 0; i < MaxSlots; ++i)
+            _slots[i] = i < _size ? static_cast<T>(in.u64()) : T{};
+    }
 
   private:
     std::size_t _capacity;

@@ -1,5 +1,8 @@
 #include "mem/page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -39,6 +42,53 @@ void
 PageTable::clear()
 {
     _entries.clear();
+}
+
+void
+PageTable::snapshotState(SnapshotWriter &out) const
+{
+    std::vector<std::pair<Vpn, const PageTableEntry *>> entries;
+    entries.reserve(_entries.size());
+    for (const auto &[vpn, pte] : _entries)
+        entries.emplace_back(vpn, &pte);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    out.u64(entries.size());
+    for (const auto &[vpn, pte] : entries) {
+        out.u64(vpn);
+        out.u64(pte->pfn);
+        out.u64(pte->next);
+        out.u64(pte->prev);
+        out.boolean(pte->inStack);
+    }
+}
+
+void
+PageTable::restoreState(SnapshotReader &in)
+{
+    _entries.clear();
+    std::uint64_t count = in.u64();
+    // 33 bytes per serialized PTE: a corrupt count field must fail
+    // with the clean checkpoint error, not a length_error/bad_alloc
+    // from reserve().
+    if (count > in.remaining() / 33)
+        SnapshotReader::fail(
+            "page table entry count " + std::to_string(count) +
+            " exceeds the checkpoint's remaining bytes");
+    _entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Vpn vpn = in.u64();
+        PageTableEntry pte;
+        pte.pfn = in.u64();
+        pte.next = in.u64();
+        pte.prev = in.u64();
+        pte.inStack = in.boolean();
+        if (!_entries.emplace(vpn, pte).second)
+            SnapshotReader::fail("duplicate page table entry in "
+                                 "checkpoint");
+    }
 }
 
 bool
@@ -126,6 +176,20 @@ RecencyStack::onMiss(Vpn missed, Vpn evicted, unsigned reach)
         push(evicted, res);
     }
     return res;
+}
+
+void
+RecencyStack::snapshotState(SnapshotWriter &out) const
+{
+    out.u64(_top);
+    out.u64(_linked);
+}
+
+void
+RecencyStack::restoreState(SnapshotReader &in)
+{
+    _top = in.u64();
+    _linked = static_cast<std::size_t>(in.u64());
 }
 
 void

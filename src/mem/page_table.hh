@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "trace/ref_stream.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -64,6 +65,16 @@ class PageTable
     std::uint64_t recencyOverheadBytes() const { return size() * 16; }
 
     void clear();
+
+    /**
+     * Serialize every PTE (translation plus RP's stack links) in
+     * ascending-VPN order, so the byte string is canonical even
+     * though the backing container is unordered.
+     */
+    void snapshotState(SnapshotWriter &out) const;
+
+    /** Restore state written by snapshotState(). */
+    void restoreState(SnapshotReader &in);
 
   private:
     std::unordered_map<Vpn, PageTableEntry> _entries;
@@ -120,6 +131,16 @@ class RecencyStack
     bool contains(Vpn vpn) const;
 
     void reset();
+
+    /**
+     * Serialize the stack head and link count.  The links themselves
+     * live in the page table entries, so a full checkpoint must pair
+     * this with PageTable::snapshotState().
+     */
+    void snapshotState(SnapshotWriter &out) const;
+
+    /** Restore state written by snapshotState(). */
+    void restoreState(SnapshotReader &in);
 
   private:
     void unlink(Vpn vpn, UpdateResult &res);

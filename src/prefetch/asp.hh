@@ -42,6 +42,10 @@ class AspPrefetcher : public Prefetcher
     std::string label() const override;
     HardwareProfile hardwareProfile() const override;
 
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
     /** Expose a row's state for white-box tests. */
     struct RowView
     {

@@ -25,6 +25,18 @@ DistancePrefetcher::reset()
     _predictor.reset();
 }
 
+void
+DistancePrefetcher::snapshotState(SnapshotWriter &out) const
+{
+    _predictor.snapshotState(out);
+}
+
+void
+DistancePrefetcher::restoreState(SnapshotReader &in)
+{
+    _predictor.restoreState(in);
+}
+
 std::string
 DistancePrefetcher::label() const
 {

@@ -31,6 +31,10 @@ class DistancePrefetcher : public Prefetcher
     std::string label() const override;
     HardwareProfile hardwareProfile() const override;
 
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
     const DistancePredictor &predictor() const { return _predictor; }
 
   private:

@@ -84,6 +84,36 @@ HybridPrefetcher::dropPrefetchesWhenBusy() const
                        });
 }
 
+bool
+HybridPrefetcher::checkpointable() const
+{
+    return std::all_of(_children.begin(), _children.end(),
+                       [](const std::unique_ptr<Prefetcher> &child) {
+                           return child->checkpointable();
+                       });
+}
+
+void
+HybridPrefetcher::snapshotState(SnapshotWriter &out) const
+{
+    out.u64(_children.size());
+    for (const auto &child : _children)
+        child->snapshotState(out);
+}
+
+void
+HybridPrefetcher::restoreState(SnapshotReader &in)
+{
+    std::uint64_t count = in.u64();
+    if (count != _children.size())
+        SnapshotReader::fail(
+            "hybrid checkpoint has " + std::to_string(count) +
+            " children, expected " +
+            std::to_string(_children.size()));
+    for (const auto &child : _children)
+        child->restoreState(in);
+}
+
 void
 registerHybridMechanism(MechanismRegistry &registry)
 {

@@ -49,6 +49,11 @@ class HybridPrefetcher : public Prefetcher
     /** Drop only if every child would (the least favourable policy). */
     bool dropPrefetchesWhenBusy() const override;
 
+    /** Checkpointable iff every child is; serialized child-by-child. */
+    bool checkpointable() const override;
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
     const std::vector<std::unique_ptr<Prefetcher>> &
     childMechanisms() const
     {

@@ -41,6 +41,20 @@ MarkovPrefetcher::reset()
     _prevMiss = kNoPage;
 }
 
+void
+MarkovPrefetcher::snapshotState(SnapshotWriter &out) const
+{
+    _table.snapshotSlotState(out);
+    out.u64(_prevMiss);
+}
+
+void
+MarkovPrefetcher::restoreState(SnapshotReader &in)
+{
+    _table.restoreSlotState(in, _slots);
+    _prevMiss = in.u64();
+}
+
 std::string
 MarkovPrefetcher::label() const
 {

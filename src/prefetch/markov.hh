@@ -36,6 +36,10 @@ class MarkovPrefetcher : public Prefetcher
     std::string label() const override;
     HardwareProfile hardwareProfile() const override;
 
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
     /** Successors currently recorded for @p vpn (tests). */
     std::vector<Vpn> successorsOf(Vpn vpn) const;
 

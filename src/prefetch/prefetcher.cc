@@ -1,8 +1,26 @@
 #include "prefetch/prefetcher.hh"
 
-// The interface is header-only today; this translation unit anchors the
-// vtable so the library has a home for Prefetcher's key function.
+#include <stdexcept>
 
 namespace tlbpf
 {
+
+void
+Prefetcher::snapshotState(SnapshotWriter &) const
+{
+    throw std::invalid_argument(
+        "mechanism '" + label() +
+        "' does not support checkpointing (override snapshotState/"
+        "restoreState/checkpointable, or use replay warm-up)");
+}
+
+void
+Prefetcher::restoreState(SnapshotReader &)
+{
+    throw std::invalid_argument(
+        "mechanism '" + label() +
+        "' does not support checkpointing (override snapshotState/"
+        "restoreState/checkpointable, or use replay warm-up)");
+}
+
 } // namespace tlbpf

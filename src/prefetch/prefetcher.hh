@@ -18,6 +18,7 @@
 
 #include "mem/page_table.hh"
 #include "trace/ref_stream.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -92,6 +93,29 @@ class Prefetcher
      * still charged)?  The paper grants RP this benefit of the doubt.
      */
     virtual bool dropPrefetchesWhenBusy() const { return false; }
+
+    /**
+     * Whether this mechanism implements exact state snapshot/restore.
+     * Mechanisms registered through the open MechanismRegistry opt in
+     * by overriding the three checkpoint hooks (every in-tree
+     * mechanism and the bench-registered dpx do); the sweep engine
+     * falls back to prefix replay for shards of a mechanism that does
+     * not, preserving bit-identity either way.
+     */
+    virtual bool checkpointable() const { return false; }
+
+    /**
+     * Serialize all prediction state into @p out.  Only called when
+     * checkpointable(); the default throws std::invalid_argument
+     * naming the mechanism.
+     */
+    virtual void snapshotState(SnapshotWriter &out) const;
+
+    /**
+     * Restore state written by snapshotState() into a mechanism built
+     * from the same spec; throws std::invalid_argument on mismatch.
+     */
+    virtual void restoreState(SnapshotReader &in);
 };
 
 } // namespace tlbpf

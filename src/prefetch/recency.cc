@@ -18,6 +18,18 @@ RecencyPrefetcher::onMiss(const TlbMiss &miss, PrefetchDecision &decision)
     decision.stateOps = res.pointerOps;
 }
 
+void
+RecencyPrefetcher::snapshotState(SnapshotWriter &out) const
+{
+    _stack.snapshotState(out);
+}
+
+void
+RecencyPrefetcher::restoreState(SnapshotReader &in)
+{
+    _stack.restoreState(in);
+}
+
 std::string
 RecencyPrefetcher::label() const
 {

@@ -44,6 +44,15 @@ class RecencyPrefetcher : public Prefetcher
     /** RP skips its prefetches when earlier traffic is in flight. */
     bool dropPrefetchesWhenBusy() const override { return true; }
 
+    /**
+     * RP's stack links live in the page table, which the simulator
+     * checkpoints separately; the mechanism itself carries only the
+     * stack head and link count.
+     */
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
     const RecencyStack &stack() const { return _stack; }
 
   private:

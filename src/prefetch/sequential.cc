@@ -38,6 +38,16 @@ SequentialPrefetcher::hardwareProfile() const
     };
 }
 
+void
+SequentialPrefetcher::snapshotState(SnapshotWriter &) const
+{
+}
+
+void
+SequentialPrefetcher::restoreState(SnapshotReader &)
+{
+}
+
 AdaptiveSequentialPrefetcher::AdaptiveSequentialPrefetcher(
     unsigned window, unsigned max_degree)
     : _window(window), _maxDegree(max_degree)
@@ -73,6 +83,24 @@ AdaptiveSequentialPrefetcher::reset()
     _degree = 1;
     _epochMisses = 0;
     _epochHits = 0;
+}
+
+void
+AdaptiveSequentialPrefetcher::snapshotState(SnapshotWriter &out) const
+{
+    out.u32(_degree);
+    out.u32(_epochMisses);
+    out.u32(_epochHits);
+}
+
+void
+AdaptiveSequentialPrefetcher::restoreState(SnapshotReader &in)
+{
+    _degree = in.u32();
+    _epochMisses = in.u32();
+    _epochHits = in.u32();
+    if (_degree < 1 || _degree > _maxDegree)
+        SnapshotReader::fail("adaptive degree out of range");
 }
 
 std::string

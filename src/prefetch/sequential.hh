@@ -34,6 +34,11 @@ class SequentialPrefetcher : public Prefetcher
     std::string label() const override;
     HardwareProfile hardwareProfile() const override;
 
+    /** SP is stateless; a checkpoint carries no bytes. */
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
+
   private:
     unsigned _degree;
 };
@@ -61,6 +66,10 @@ class AdaptiveSequentialPrefetcher : public Prefetcher
     std::string name() const override { return "ASQ"; }
     std::string label() const override;
     HardwareProfile hardwareProfile() const override;
+
+    bool checkpointable() const override { return true; }
+    void snapshotState(SnapshotWriter &out) const override;
+    void restoreState(SnapshotReader &in) override;
 
     unsigned degree() const { return _degree; }
 

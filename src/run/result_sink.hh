@@ -82,9 +82,10 @@ class CsvSink : public ResultSink
 
 /**
  * Streams a JSON array of row objects keyed by the header.  Cells
- * that parse fully as numbers are emitted as JSON numbers, everything
- * else as strings, so downstream tooling gets typed values without
- * the sink needing a schema.
+ * that parse fully as numbers are emitted as JSON numbers, the
+ * literals "null"/"true"/"false" pass through as JSON literals, and
+ * everything else is a string — so downstream tooling gets typed
+ * values without the sink needing a schema.
  */
 class JsonSink : public ResultSink
 {

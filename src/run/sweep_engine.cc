@@ -50,18 +50,24 @@ expandShards(const std::vector<SweepJob> &jobs, std::uint32_t shards)
     plan.jobs.reserve(shards <= 1 ? jobs.size()
                                   : jobs.size() * shards);
     for (const SweepJob &job : jobs) {
-        if (shards <= 1 || job.mode != JobMode::Functional ||
+        // Never fan a cell out wider than its reference budget:
+        // shardWindow() would hand the surplus shards empty windows,
+        // which burn a full warm-up replay each to record nothing.
+        std::uint32_t fanout = shards;
+        if (job.refs < fanout)
+            fanout = static_cast<std::uint32_t>(job.refs);
+        if (fanout <= 1 || job.mode != JobMode::Functional ||
             job.workload.sharded()) {
             plan.jobs.push_back(job);
             plan.groupSizes.push_back(1);
             continue;
         }
-        for (std::uint32_t k = 0; k < shards; ++k) {
+        for (std::uint32_t k = 0; k < fanout; ++k) {
             SweepJob shard = job;
-            shard.workload = job.workload.withShard(k, shards);
+            shard.workload = job.workload.withShard(k, fanout);
             plan.jobs.push_back(std::move(shard));
         }
-        plan.groupSizes.push_back(shards);
+        plan.groupSizes.push_back(fanout);
     }
     return plan;
 }
@@ -102,6 +108,120 @@ mergeShardResults(const ShardPlan &plan,
     return merged;
 }
 
+const char *
+shardWarmupName(ShardWarmup warmup)
+{
+    return warmup == ShardWarmup::Replay ? "replay" : "checkpoint";
+}
+
+ShardWarmup
+parseShardWarmup(const std::string &text)
+{
+    if (text == "replay")
+        return ShardWarmup::Replay;
+    if (text == "checkpoint")
+        return ShardWarmup::Checkpoint;
+    throw std::invalid_argument(
+        "unknown shard warm-up mode '" + text +
+        "' (expected replay or checkpoint)");
+}
+
+namespace
+{
+
+/** One checkpoint-schedule task: a chained group or a lone plan job. */
+struct ShardUnit
+{
+    std::size_t start = 0;   ///< first index into plan.jobs
+    std::uint32_t count = 1; ///< consecutive jobs in the chain
+};
+
+/**
+ * Whether a cell's mechanism supports exact snapshot/restore.  Probes
+ * a throwaway build (cheap: registry construction is microseconds) so
+ * the scheduler can fall back to replay warm-up for open-registry
+ * mechanisms that never implemented the checkpoint hooks.
+ */
+bool
+mechanismCheckpointable(const SweepJob &job)
+{
+    PageTable pt;
+    std::unique_ptr<Prefetcher> built = job.spec.build(pt);
+    return !built || built->checkpointable();
+}
+
+/**
+ * Execute one cell's shards as a checkpoint chain: a single stream
+ * pass where shard k's warm-up is the restore of shard k-1's
+ * end-of-window snapshot.  Per-shard results are identical to what
+ * replay-mode jobs would produce (same labels, same counter windows),
+ * so the caller's merge step cannot tell the modes apart.
+ */
+std::vector<SweepResult>
+runShardChain(const std::vector<SweepJob> &jobs, std::size_t start,
+              std::uint32_t count)
+{
+    const SweepJob &first = jobs[start];
+    auto stream = first.workload.base().build(first.refs);
+    std::vector<SweepResult> out(count);
+    SimState state;
+    std::uint64_t pos = 0;
+    for (std::uint32_t k = 0; k < count; ++k) {
+        const SweepJob &job = jobs[start + k];
+        auto [begin, end] = job.workload.shardWindow(job.refs);
+        if (begin != pos)
+            throw std::invalid_argument(
+                "shard chain windows are not contiguous (window "
+                "starts at " +
+                std::to_string(begin) + ", stream is at " +
+                std::to_string(pos) + ")");
+        SweepResult &result = out[k];
+        result.mode = job.mode;
+        result.workload = job.workload.label();
+        result.mechanism = job.spec.label();
+        bool last = k + 1 == count;
+        result.functional = simulateWindowFrom(
+            job.config, job.spec, *stream, k > 0 ? &state : nullptr,
+            end - begin, last ? nullptr : &state);
+        pos = end;
+    }
+    return out;
+}
+
+/**
+ * The checkpoint-mode schedule for an expanded plan: each group
+ * becomes one chained task; groups of one (timing cells, explicit
+ * spec#k/N jobs) and groups whose mechanism cannot checkpoint
+ * decompose into independent replay jobs.
+ */
+std::vector<ShardUnit>
+buildShardUnits(const ShardPlan &plan)
+{
+    std::vector<ShardUnit> units;
+    units.reserve(plan.groupSizes.size());
+    std::size_t start = 0;
+    for (std::uint32_t count : plan.groupSizes) {
+        if (count > 1 && mechanismCheckpointable(plan.jobs[start])) {
+            units.push_back(ShardUnit{start, count});
+        } else {
+            for (std::uint32_t k = 0; k < count; ++k)
+                units.push_back(ShardUnit{start + k, 1});
+        }
+        start += count;
+    }
+    return units;
+}
+
+} // namespace
+
+std::size_t
+shardTaskCount(const ShardPlan &plan, ShardWarmup warmup)
+{
+    if (warmup == ShardWarmup::Replay)
+        return plan.jobs.size();
+    return buildShardUnits(plan).size();
+}
+
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
@@ -114,10 +234,31 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
 
 std::vector<SweepResult>
 SweepEngine::runSharded(const std::vector<SweepJob> &jobs,
-                        std::uint32_t shards)
+                        std::uint32_t shards, ShardWarmup warmup)
 {
-    ShardPlan plan = expandShards(jobs, shards);
-    return mergeShardResults(plan, run(plan.jobs));
+    return runSharded(expandShards(jobs, shards), warmup);
+}
+
+std::vector<SweepResult>
+SweepEngine::runSharded(const ShardPlan &plan, ShardWarmup warmup)
+{
+    if (warmup == ShardWarmup::Replay)
+        return mergeShardResults(plan, run(plan.jobs));
+
+    std::vector<ShardUnit> units = buildShardUnits(plan);
+    std::vector<SweepResult> results(plan.jobs.size());
+    _pool.parallelFor(units.size(), [&](std::size_t i) {
+        const ShardUnit &unit = units[i];
+        if (unit.count == 1) {
+            results[unit.start] = runSweepJob(plan.jobs[unit.start]);
+            return;
+        }
+        std::vector<SweepResult> chained =
+            runShardChain(plan.jobs, unit.start, unit.count);
+        for (std::uint32_t k = 0; k < unit.count; ++k)
+            results[unit.start + k] = std::move(chained[k]);
+    });
+    return mergeShardResults(plan, results);
 }
 
 } // namespace tlbpf

@@ -19,10 +19,28 @@
  * batch failure, not a process exit from mid-pool.
  *
  * Sharding: expandShards() splits each functional cell into N
- * per-shard jobs (shard k simulates the whole stream but records only
- * its window of the counters), and mergeShardResults() is the reduce
- * step that folds the per-shard counter deltas back into one result
- * per original cell — bit-identical to the unsharded run.
+ * per-shard jobs (shard k records only its window of the counters),
+ * and mergeShardResults() is the reduce step that folds the per-shard
+ * counter deltas back into one result per original cell —
+ * bit-identical to the unsharded run.  How a shard reconstructs the
+ * simulator state at its window start is the warm-up mode:
+ *
+ *   ShardWarmup::Replay      every shard simulates the whole prefix
+ *                            [0, begin_k) itself.  Shards are fully
+ *                            independent (best wall-clock on many
+ *                            cores) but total CPU grows ~(N+1)/2x.
+ *   ShardWarmup::Checkpoint  shard k restores shard k-1's
+ *                            end-of-window SimState snapshot, so the
+ *                            chain does ~1x total work plus snapshot
+ *                            cost.  The chain serialises the shards
+ *                            of one cell (different cells still run
+ *                            concurrently); counters are bit-identical
+ *                            to replay mode and to the unsharded run.
+ *
+ * A mechanism that has not opted into checkpointing
+ * (Prefetcher::checkpointable() == false) silently falls back to
+ * replay warm-up for its cells, preserving correctness for
+ * open-registry mechanisms that never implemented the hooks.
  */
 
 #ifndef TLBPF_RUN_SWEEP_ENGINE_HH
@@ -44,6 +62,22 @@ namespace tlbpf
  */
 SweepResult runSweepJob(const SweepJob &job);
 
+/** How sharded cells reconstruct simulator state at a window start. */
+enum class ShardWarmup
+{
+    Replay,    ///< each shard replays its stream prefix (independent)
+    Checkpoint ///< shards chain end-of-window snapshots (~1x work)
+};
+
+/** Canonical flag value: "replay" or "checkpoint". */
+const char *shardWarmupName(ShardWarmup warmup);
+
+/**
+ * Parse a --shard-warmup value ("replay"/"checkpoint"); throws
+ * std::invalid_argument on anything else.
+ */
+ShardWarmup parseShardWarmup(const std::string &text);
+
 /**
  * The expanded batch of a sharded run plus the explicit grouping the
  * reduce step folds.  groupSizes has one entry per pre-expansion job:
@@ -61,9 +95,13 @@ struct ShardPlan
 
 /**
  * Map phase of a sharded run: expand every unsharded functional job
- * into @p shards per-shard jobs (consecutive, shard order); timing
- * cells and jobs that already name an explicit shard pass through
- * unchanged as groups of one.  @p shards <= 1 keeps every job as-is.
+ * into per-shard jobs (consecutive, shard order); timing cells and
+ * jobs that already name an explicit shard pass through unchanged as
+ * groups of one.  @p shards <= 1 keeps every job as-is.  The fan-out
+ * of one job is clamped to its reference budget, so the shard windows
+ * always partition [0, refs) exactly with no empty shard — asking for
+ * more shards than references yields refs single-reference windows,
+ * not empty ones.
  */
 ShardPlan expandShards(const std::vector<SweepJob> &jobs,
                        std::uint32_t shards);
@@ -81,6 +119,15 @@ std::vector<SweepResult>
 mergeShardResults(const ShardPlan &plan,
                   const std::vector<SweepResult> &results);
 
+/**
+ * Number of independently schedulable tasks runSharded() will create
+ * for @p plan: the plan size under replay warm-up, one task per
+ * chained group (plus the replay-fallback singles) under checkpoint
+ * warm-up.  Callers sizing a worker pool can clamp to this instead of
+ * over-provisioning threads that would only park.
+ */
+std::size_t shardTaskCount(const ShardPlan &plan, ShardWarmup warmup);
+
 /** Multi-threaded batch runner with ordered, deterministic results. */
 class SweepEngine
 {
@@ -97,11 +144,26 @@ class SweepEngine
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
 
     /**
-     * Convenience map-reduce: expandShards -> run -> mergeShardResults;
-     * returns one merged result per entry of @p jobs.
+     * Map-reduce over shards: expandShards -> execute -> merge;
+     * returns one merged result per entry of @p jobs, bit-identical
+     * to run() for any shard count and either warm-up mode.  Under
+     * ShardWarmup::Checkpoint (the default) each cell's shards run as
+     * one chained task — shard k warms up by restoring shard k-1's
+     * end-of-window snapshot — so the whole fan-out costs ~1x the
+     * unsharded work instead of replay's ~(N+1)/2x.
      */
-    std::vector<SweepResult> runSharded(const std::vector<SweepJob> &jobs,
-                                        std::uint32_t shards);
+    std::vector<SweepResult>
+    runSharded(const std::vector<SweepJob> &jobs, std::uint32_t shards,
+               ShardWarmup warmup = ShardWarmup::Checkpoint);
+
+    /**
+     * runSharded() over a plan the caller already expanded (e.g. to
+     * size this engine's pool via shardTaskCount() without paying
+     * for a second expansion).
+     */
+    std::vector<SweepResult>
+    runSharded(const ShardPlan &plan,
+               ShardWarmup warmup = ShardWarmup::Checkpoint);
 
     /** The underlying pool, for callers with custom cell loops. */
     ThreadPool &pool() { return _pool; }

@@ -1,11 +1,14 @@
 #include "sim/functional_sim.hh"
 
+#include <stdexcept>
+
 namespace tlbpf
 {
 
 FunctionalSimulator::FunctionalSimulator(const SimConfig &config,
                                          const MechanismSpec &spec)
     : _config(config),
+      _mechLabel(spec.label()),
       _tlb(config.tlb),
       _buffer(config.pbEntries),
       _prefetcher(spec.build(_pt))
@@ -88,6 +91,124 @@ FunctionalSimulator::result()
     return _result;
 }
 
+namespace
+{
+
+/** Leading bytes of every checkpoint: "TPFS" + format version. */
+constexpr std::uint32_t kSnapshotMagic = 0x53465054; // 'T','P','F','S'
+constexpr std::uint8_t kSnapshotVersion = 1;
+
+void
+writeCounters(SnapshotWriter &out, const SimResult &r)
+{
+    out.u64(r.refs);
+    out.u64(r.misses);
+    out.u64(r.pbHits);
+    out.u64(r.demandFetches);
+    out.u64(r.prefetchesIssued);
+    out.u64(r.prefetchesSuppressed);
+    out.u64(r.stateOps);
+    out.u64(r.pbEvictedUnused);
+    out.u64(r.footprintPages);
+    out.u64(r.contextSwitches);
+}
+
+void
+readCounters(SnapshotReader &in, SimResult &r)
+{
+    r.refs = in.u64();
+    r.misses = in.u64();
+    r.pbHits = in.u64();
+    r.demandFetches = in.u64();
+    r.prefetchesIssued = in.u64();
+    r.prefetchesSuppressed = in.u64();
+    r.stateOps = in.u64();
+    r.pbEvictedUnused = in.u64();
+    r.footprintPages = in.u64();
+    r.contextSwitches = in.u64();
+}
+
+} // namespace
+
+bool
+FunctionalSimulator::checkpointable() const
+{
+    return !_prefetcher || _prefetcher->checkpointable();
+}
+
+SimState
+FunctionalSimulator::snapshot() const
+{
+    if (!checkpointable())
+        throw std::invalid_argument(
+            "mechanism '" + _mechLabel +
+            "' does not support checkpointing; use replay warm-up");
+    SnapshotWriter out;
+    // Rough upper bound on the serialized size: page table entries
+    // dominate (33 bytes each), then TLB slots and buffer nodes.
+    out.reserve(512 + 40 * _pt.size() +
+                17 * static_cast<std::size_t>(_config.tlb.entries) +
+                16 * static_cast<std::size_t>(_config.pbEntries));
+    out.u32(kSnapshotMagic);
+    out.u8(kSnapshotVersion);
+
+    // Configuration signature: a checkpoint only restores into a
+    // simulator that would have produced it.
+    out.u32(_config.tlb.entries);
+    out.u32(_config.tlb.assoc);
+    out.u32(_config.pbEntries);
+    out.u64(_config.pageBytes);
+    out.boolean(_config.trainOnAllRefs);
+    out.u64(_config.contextSwitchInterval);
+    out.str(_mechLabel);
+
+    writeCounters(out, _result);
+    _tlb.snapshotState(out);
+    _buffer.snapshotState(out);
+    _pt.snapshotState(out);
+    out.boolean(_prefetcher != nullptr);
+    if (_prefetcher)
+        _prefetcher->snapshotState(out);
+    return SimState{out.take()};
+}
+
+void
+FunctionalSimulator::restore(const SimState &state)
+{
+    SnapshotReader in(state.bytes);
+    if (in.u32() != kSnapshotMagic)
+        SnapshotReader::fail("bad magic (not a simulator checkpoint)");
+    if (std::uint8_t version = in.u8(); version != kSnapshotVersion)
+        SnapshotReader::fail("unsupported checkpoint version " +
+                             std::to_string(version));
+
+    if (in.u32() != _config.tlb.entries ||
+        in.u32() != _config.tlb.assoc ||
+        in.u32() != _config.pbEntries ||
+        in.u64() != _config.pageBytes ||
+        in.boolean() != _config.trainOnAllRefs ||
+        in.u64() != _config.contextSwitchInterval)
+        SnapshotReader::fail(
+            "simulator configuration does not match the checkpoint");
+    if (std::string mech = in.str(); mech != _mechLabel)
+        SnapshotReader::fail("checkpoint was taken under mechanism '" +
+                             mech + "', this simulator runs '" +
+                             _mechLabel + "'");
+
+    readCounters(in, _result);
+    _tlb.restoreState(in);
+    _buffer.restoreState(in);
+    _pt.restoreState(in); // before the mechanism: RP links live here
+    bool has_prefetcher = in.boolean();
+    if (has_prefetcher != (_prefetcher != nullptr))
+        SnapshotReader::fail(
+            "checkpoint and simulator disagree on mechanism presence");
+    if (_prefetcher)
+        _prefetcher->restoreState(in);
+    if (!in.atEnd())
+        SnapshotReader::fail("trailing bytes after checkpoint");
+}
+
 SimResult
 simulate(const SimConfig &config, const MechanismSpec &spec,
          RefStream &stream)
@@ -158,6 +279,27 @@ simulateWindow(const SimConfig &config, const MechanismSpec &spec,
         ++processed;
     }
     return counterDelta(sim.result(), start);
+}
+
+SimResult
+simulateWindowFrom(const SimConfig &config, const MechanismSpec &spec,
+                   RefStream &stream, const SimState *warm,
+                   std::uint64_t take, SimState *end_state)
+{
+    FunctionalSimulator sim(config, spec);
+    if (warm)
+        sim.restore(*warm);
+    SimResult start = sim.result();
+    MemRef ref;
+    std::uint64_t processed = 0;
+    while (processed < take && stream.next(ref)) {
+        sim.process(ref);
+        ++processed;
+    }
+    SimResult delta = counterDelta(sim.result(), start);
+    if (end_state)
+        *end_state = sim.snapshot();
+    return delta;
 }
 
 } // namespace tlbpf

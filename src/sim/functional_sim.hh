@@ -20,7 +20,10 @@
 #ifndef TLBPF_SIM_FUNCTIONAL_SIM_HH
 #define TLBPF_SIM_FUNCTIONAL_SIM_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "mem/page_table.hh"
 #include "prefetch/mech_spec.hh"
@@ -28,6 +31,7 @@
 #include "tlb/prefetch_buffer.hh"
 #include "tlb/tlb.hh"
 #include "trace/ref_stream.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -103,6 +107,23 @@ struct SimResult
     }
 };
 
+/**
+ * A serialized simulator-state checkpoint: everything process() can
+ * observe — counters, TLB, prefetch buffer, page table and mechanism
+ * prediction state — as one stable byte string.  Produced by
+ * FunctionalSimulator::snapshot() and consumed by restore() on a
+ * simulator built from the same SimConfig and MechanismSpec, so a
+ * run can be split at any reference boundary and continued
+ * bit-identically (the checkpoint-chained shard warm-up in
+ * SweepEngine::runSharded).
+ */
+struct SimState
+{
+    std::vector<std::uint8_t> bytes;
+
+    bool empty() const { return bytes.empty(); }
+};
+
 /** Stepping functional simulator. */
 class FunctionalSimulator
 {
@@ -116,6 +137,30 @@ class FunctionalSimulator
     /** Counters so far (footprint refreshed on each call). */
     const SimResult &result();
 
+    /**
+     * True if the whole simulator state can round-trip through
+     * snapshot()/restore(): always, unless the mechanism is an
+     * open-registry entry that has not opted into checkpointing
+     * (Prefetcher::checkpointable()).
+     */
+    bool checkpointable() const;
+
+    /**
+     * Serialize the exact simulator state.  Continuing a restored
+     * simulator over the same remaining reference stream reproduces
+     * the uninterrupted run's counters bit-for-bit.  Throws
+     * std::invalid_argument if !checkpointable().
+     */
+    SimState snapshot() const;
+
+    /**
+     * Restore state captured by snapshot() on a simulator with the
+     * same configuration and mechanism; throws std::invalid_argument
+     * on a truncated/foreign checkpoint or a config/mechanism
+     * mismatch.
+     */
+    void restore(const SimState &state);
+
     const Tlb &tlb() const { return _tlb; }
     const PrefetchBuffer &buffer() const { return _buffer; }
     const PageTable &pageTable() const { return _pt; }
@@ -123,6 +168,7 @@ class FunctionalSimulator
 
   private:
     SimConfig _config;
+    std::string _mechLabel;
     PageTable _pt;
     Tlb _tlb;
     PrefetchBuffer _buffer;
@@ -155,6 +201,23 @@ void addCounters(SimResult &into, const SimResult &from);
 SimResult simulateWindow(const SimConfig &config,
                          const MechanismSpec &spec, RefStream &stream,
                          std::uint64_t skip, std::uint64_t take);
+
+/**
+ * Simulate a window of @p stream starting from a checkpoint instead
+ * of a prefix replay: the simulator is constructed fresh, warmed by
+ * restoring @p warm (nullptr starts cold — the window begins at
+ * reference 0), fed the next @p take references of @p stream (which
+ * must already be positioned at the window start), and the counter
+ * delta over the window is returned.  If @p end_state is non-null it
+ * receives the end-of-window snapshot, ready to warm the next shard
+ * in a checkpoint chain.  Chaining N windows this way reproduces the
+ * serial run's counters bit-for-bit at ~1x total work, versus
+ * ~(N+1)/2x for N prefix-replaying shards.
+ */
+SimResult simulateWindowFrom(const SimConfig &config,
+                             const MechanismSpec &spec,
+                             RefStream &stream, const SimState *warm,
+                             std::uint64_t take, SimState *end_state);
 
 } // namespace tlbpf
 

@@ -1,5 +1,7 @@
 #include "tlb/prefetch_buffer.hh"
 
+#include <iterator>
+
 #include "util/logging.hh"
 
 namespace tlbpf
@@ -58,6 +60,46 @@ PrefetchBuffer::flush()
 {
     _lru.clear();
     _index.clear();
+}
+
+void
+PrefetchBuffer::snapshotState(SnapshotWriter &out) const
+{
+    out.u32(_capacity);
+    out.u64(_inserts);
+    out.u64(_hits);
+    out.u64(_evictedUnused);
+    out.u64(_lru.size());
+    for (const Node &node : _lru) { // front (MRU) first
+        out.u64(node.vpn);
+        out.u64(node.readyAt);
+    }
+}
+
+void
+PrefetchBuffer::restoreState(SnapshotReader &in)
+{
+    std::uint32_t capacity = in.u32();
+    if (capacity != _capacity)
+        SnapshotReader::fail(
+            "prefetch buffer capacity " + std::to_string(capacity) +
+            ", expected " + std::to_string(_capacity));
+    _inserts = in.u64();
+    _hits = in.u64();
+    _evictedUnused = in.u64();
+    std::uint64_t count = in.u64();
+    if (count > _capacity)
+        SnapshotReader::fail("prefetch buffer overfull in checkpoint");
+    _lru.clear();
+    _index.clear();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Vpn vpn = in.u64();
+        Tick ready_at = in.u64();
+        _lru.push_back(Node{vpn, ready_at});
+        if (!_index.emplace(vpn, std::prev(_lru.end())).second)
+            SnapshotReader::fail(
+                "duplicate prefetch buffer entry in checkpoint");
+    }
 }
 
 } // namespace tlbpf

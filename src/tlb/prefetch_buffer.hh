@@ -20,6 +20,7 @@
 
 #include "mem/prefetch_channel.hh"
 #include "trace/ref_stream.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -59,6 +60,15 @@ class PrefetchBuffer
     std::uint64_t inserts() const { return _inserts; }
     std::uint64_t hits() const { return _hits; }
     std::uint64_t evictedUnused() const { return _evictedUnused; }
+
+    /** Serialize contents in LRU order plus the lifetime counters. */
+    void snapshotState(SnapshotWriter &out) const;
+
+    /**
+     * Restore state written by snapshotState() into a buffer of the
+     * same capacity; throws std::invalid_argument on a mismatch.
+     */
+    void restoreState(SnapshotReader &in);
 
   private:
     struct Node

@@ -1,5 +1,7 @@
 #include "tlb/tlb.hh"
 
+#include <unordered_set>
+
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -102,6 +104,55 @@ Tlb::invalidate(Vpn vpn)
     e->valid = false;
     --_resident;
     return true;
+}
+
+void
+Tlb::snapshotState(SnapshotWriter &out) const
+{
+    // _resident is not serialized: it is derivable from the valid
+    // flags, and recomputing it on restore closes a corruption hole.
+    out.u64(_clock);
+    out.u64(_entries.size());
+    for (const Entry &e : _entries) {
+        out.boolean(e.valid);
+        if (!e.valid)
+            continue;
+        out.u64(e.vpn);
+        out.u64(e.lastUse);
+    }
+}
+
+void
+Tlb::restoreState(SnapshotReader &in)
+{
+    _clock = in.u64();
+    std::uint64_t count = in.u64();
+    if (count != _entries.size())
+        SnapshotReader::fail(
+            "TLB has " + std::to_string(count) +
+            " entry slots, expected " +
+            std::to_string(_entries.size()));
+    _resident = 0;
+    std::unordered_set<Vpn> seen;
+    seen.reserve(_entries.size());
+    for (std::size_t i = 0; i < _entries.size(); ++i) {
+        Entry &e = _entries[i];
+        e.valid = in.boolean();
+        if (!e.valid) {
+            e.vpn = 0;
+            e.lastUse = 0;
+            continue;
+        }
+        e.vpn = in.u64();
+        e.lastUse = in.u64();
+        if (setIndex(e.vpn) != (i / _ways) * _ways)
+            SnapshotReader::fail(
+                "TLB checkpoint places VPN " + std::to_string(e.vpn) +
+                " in the wrong set");
+        if (!seen.insert(e.vpn).second)
+            SnapshotReader::fail("duplicate TLB entry in checkpoint");
+        ++_resident;
+    }
 }
 
 void

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "trace/ref_stream.hh"
+#include "util/snapshot.hh"
 
 namespace tlbpf
 {
@@ -70,6 +71,15 @@ class Tlb
 
     const TlbConfig &config() const { return _config; }
     std::uint32_t residentCount() const { return _resident; }
+
+    /** Serialize entries (set order) and the recency clock. */
+    void snapshotState(SnapshotWriter &out) const;
+
+    /**
+     * Restore state written by snapshotState() into a TLB of the same
+     * geometry; throws std::invalid_argument on a mismatch.
+     */
+    void restoreState(SnapshotReader &in);
 
   private:
     struct Entry

@@ -1,0 +1,64 @@
+#include "util/snapshot.hh"
+
+#include <stdexcept>
+
+namespace tlbpf
+{
+
+void
+SnapshotReader::need(std::size_t count) const
+{
+    // Overflow-safe: _cursor <= size() always holds, so the
+    // subtraction cannot wrap even for hostile length fields.
+    if (count > _bytes.size() - _cursor)
+        fail("snapshot truncated (needed " + std::to_string(count) +
+             " more bytes at offset " + std::to_string(_cursor) +
+             " of " + std::to_string(_bytes.size()) + ")");
+}
+
+std::uint8_t
+SnapshotReader::u8()
+{
+    need(1);
+    return _bytes[_cursor++];
+}
+
+std::uint32_t
+SnapshotReader::u32()
+{
+    need(4);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+        value |= static_cast<std::uint32_t>(_bytes[_cursor++]) << shift;
+    return value;
+}
+
+std::uint64_t
+SnapshotReader::u64()
+{
+    need(8);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+        value |= static_cast<std::uint64_t>(_bytes[_cursor++]) << shift;
+    return value;
+}
+
+std::string
+SnapshotReader::str()
+{
+    std::uint64_t size = u64();
+    need(size);
+    std::string out(_bytes.begin() + static_cast<std::ptrdiff_t>(_cursor),
+                    _bytes.begin() +
+                        static_cast<std::ptrdiff_t>(_cursor + size));
+    _cursor += size;
+    return out;
+}
+
+void
+SnapshotReader::fail(const std::string &why)
+{
+    throw std::invalid_argument("invalid simulator checkpoint: " + why);
+}
+
+} // namespace tlbpf

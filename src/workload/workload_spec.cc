@@ -282,6 +282,20 @@ WorkloadSpec
 WorkloadSpec::mix(std::vector<WorkloadSpec> mix_parts,
                   std::uint64_t quantum)
 {
+    // Reject degenerate mixes at construction, not first build():
+    // a single-part "mix" is just that workload with extra labelling,
+    // and quantum 0 would never rotate the schedule — both are
+    // almost certainly caller mistakes.
+    if (mix_parts.size() < 2)
+        throw std::invalid_argument(
+            "mix workload needs at least two parts, got " +
+            std::to_string(mix_parts.size()) +
+            " (a single-part mix is just that workload; drop the "
+            "mix: wrapper)");
+    if (quantum == 0)
+        throw std::invalid_argument(
+            "mix workload needs a positive context-switch quantum "
+            "(refs per schedule slice), got 0");
     WorkloadSpec spec;
     spec.kind = Kind::Mix;
     spec.parts = std::move(mix_parts);

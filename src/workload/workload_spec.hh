@@ -71,7 +71,11 @@ struct WorkloadSpec
     static WorkloadSpec app(std::string name);
     /** Trace-file spec. */
     static WorkloadSpec trace(std::string path);
-    /** Mix spec over >= 2 App/Trace parts at @p quantum refs/slice. */
+    /**
+     * Mix spec over >= 2 App/Trace parts at @p quantum refs/slice.
+     * Throws std::invalid_argument for fewer than two parts or a zero
+     * quantum — degenerate interleavings are rejected at construction.
+     */
     static WorkloadSpec mix(std::vector<WorkloadSpec> mix_parts,
                             std::uint64_t quantum);
 

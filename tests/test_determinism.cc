@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "run/result_sink.hh"
@@ -200,6 +201,116 @@ TEST(ParallelDeterminism, RepeatedParallelRunsAreBitIdentical)
     for (std::size_t i = 0; i < first.size(); ++i)
         EXPECT_EQ(counters(first[i]), counters(second[i]))
             << "cell " << i;
+}
+
+/**
+ * Snapshot/restore bit-identity, mechanism by mechanism: a simulator
+ * restored from a mid-run checkpoint must (a) re-serialize to the
+ * exact same bytes and (b) produce the exact same counters as the
+ * uninterrupted run over the remaining references.  The spec list
+ * covers every component with state: TLB + buffer + page table
+ * (always), each prefetcher family, the recency stack, and the
+ * hybrid composite's child-by-child serialization.
+ */
+TEST(Checkpoint, SnapshotRestoreRoundTripsPerMechanism)
+{
+    constexpr std::uint64_t kPrefix = 20000;
+    constexpr std::uint64_t kTail = 20000;
+    for (const char *mech :
+         {"none", "SP,1", "sp(degree=4)", "sp(adaptive)", "ASP,256,D",
+          "mp(rows=64,assoc=2w)", "DP,256,D", "dp(rows=64,slots=4)",
+          "rp", "rp(reach=2)", "hybrid(dp+sp)",
+          "hybrid(dp+rp+sp(adaptive))"}) {
+        MechanismSpec spec = MechanismSpec::parse(mech);
+        SimConfig config;
+        config.contextSwitchInterval = 7000; // cross a flush boundary
+        auto refs =
+            collect(*buildApp("mcf", kPrefix + kTail), kPrefix + kTail);
+        ASSERT_EQ(refs.size(), kPrefix + kTail);
+
+        FunctionalSimulator full(config, spec);
+        for (std::uint64_t i = 0; i < kPrefix; ++i)
+            full.process(refs[i]);
+        ASSERT_TRUE(full.checkpointable()) << mech;
+        SimState snap = full.snapshot();
+
+        FunctionalSimulator restored(config, spec);
+        restored.restore(snap);
+        EXPECT_EQ(restored.snapshot().bytes, snap.bytes)
+            << mech << ": restore + re-snapshot changed the bytes";
+
+        for (std::uint64_t i = kPrefix; i < refs.size(); ++i) {
+            full.process(refs[i]);
+            restored.process(refs[i]);
+        }
+        EXPECT_EQ(counters(full.result()),
+                  counters(restored.result()))
+            << mech << ": restored run diverged over the tail";
+    }
+}
+
+TEST(Checkpoint, MismatchedRestoreThrows)
+{
+    SimConfig config;
+    MechanismSpec dp = MechanismSpec::parse("dp");
+    auto refs = collect(*buildApp("gcc", 5000), 5000);
+    FunctionalSimulator sim(config, dp);
+    for (const MemRef &ref : refs)
+        sim.process(ref);
+    SimState snap = sim.snapshot();
+
+    // Wrong mechanism.
+    FunctionalSimulator rp(config, MechanismSpec::parse("rp"));
+    EXPECT_THROW(rp.restore(snap), std::invalid_argument);
+
+    // Wrong geometry.
+    SimConfig small;
+    small.tlb.entries = 64;
+    FunctionalSimulator other(small, dp);
+    EXPECT_THROW(other.restore(snap), std::invalid_argument);
+
+    // Truncated bytes.
+    SimState cut{std::vector<std::uint8_t>(
+        snap.bytes.begin(), snap.bytes.begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    snap.bytes.size() / 2))};
+    FunctionalSimulator third(config, dp);
+    EXPECT_THROW(third.restore(cut), std::invalid_argument);
+
+    // Not a checkpoint at all.
+    EXPECT_THROW(third.restore(SimState{{1, 2, 3}}),
+                 std::invalid_argument);
+}
+
+/**
+ * The 1-vs-8-shard CSV byte compare, in both warm-up modes: sharding
+ * a batch must never change a single output byte, whether shards
+ * replay their prefix or chain checkpoints, at any thread count.
+ */
+TEST(Checkpoint, ShardWarmupModesPreserveCsvBytes)
+{
+    MechanismSpec dp = MechanismSpec::parse("dp");
+    std::vector<SweepJob> jobs = {
+        SweepJob::functional(WorkloadSpec::app("mcf"), dp, kRefs),
+        SweepJob::functional(WorkloadSpec::parse("mix:mcf+gcc@1k"),
+                             MechanismSpec::parse("hybrid(dp+sp)"),
+                             kRefs),
+        SweepJob::functional(
+            WorkloadSpec::trace(std::string(TLBPF_TEST_DATA_DIR) +
+                                "/sample.tpf"),
+            MechanismSpec::parse("rp"), kRefs),
+        SweepJob::timed(WorkloadSpec::app("ammp"), dp, kRefs),
+    };
+    std::string plain = csvBytes(jobs, SweepEngine(1).run(jobs));
+    EXPECT_FALSE(plain.empty());
+    for (ShardWarmup warmup :
+         {ShardWarmup::Replay, ShardWarmup::Checkpoint})
+        for (unsigned threads : {1u, 4u})
+            EXPECT_EQ(plain,
+                      csvBytes(jobs, SweepEngine(threads).runSharded(
+                                         jobs, 8, warmup)))
+                << shardWarmupName(warmup) << " warm-up at "
+                << threads << " threads";
 }
 
 TEST(Determinism, RebuiltAppModelsReplayIdentically)

@@ -209,6 +209,58 @@ TEST(WorkloadSpecShard, WindowsPartitionTheBudget)
     EXPECT_EQ(covered, 1003u);
 }
 
+TEST(WorkloadSpecShard, PrimeRefCountsPartitionExactly)
+{
+    // refs % N != 0: every window must be non-empty, contiguous and
+    // cover [0, refs) exactly — no reference simulated twice, none
+    // dropped.
+    for (std::uint64_t refs : {1009u, 7919u, 104729u}) {
+        for (std::uint32_t shards : {2u, 3u, 8u, 64u}) {
+            std::uint64_t expected_begin = 0;
+            for (std::uint32_t k = 0; k < shards; ++k) {
+                auto [begin, end] = WorkloadSpec::app("mcf")
+                                        .withShard(k, shards)
+                                        .shardWindow(refs);
+                EXPECT_EQ(begin, expected_begin)
+                    << refs << " refs, shard " << k << "/" << shards;
+                EXPECT_GT(end, begin)
+                    << refs << " refs, shard " << k << "/" << shards
+                    << " is empty";
+                expected_begin = end;
+            }
+            EXPECT_EQ(expected_begin, refs);
+        }
+    }
+}
+
+TEST(WorkloadSpecMix, DegenerateMixesAreRejectedAtConstruction)
+{
+    // quantum = 0 and single-part mixes must fail with an actionable
+    // error instead of building a degenerate interleaving.
+    EXPECT_THROW(WorkloadSpec::mix({WorkloadSpec::app("mcf")}, 1000),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::mix({}, 1000), std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::mix({WorkloadSpec::app("mcf"),
+                                    WorkloadSpec::app("gcc")},
+                                   0),
+                 std::invalid_argument);
+    try {
+        WorkloadSpec::mix({WorkloadSpec::app("mcf")}, 0);
+        FAIL() << "single-part mix must throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("two parts"),
+                  std::string::npos)
+            << "error should explain the two-part requirement: "
+            << e.what();
+    }
+
+    // The parse path rejects the same shapes with the mix label.
+    EXPECT_THROW(WorkloadSpec::parse("mix:mcf@100k"),
+                 std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::parse("mix:mcf+gcc@0"),
+                 std::invalid_argument);
+}
+
 TEST(WorkloadSpecShard, WithShardValidates)
 {
     EXPECT_THROW(WorkloadSpec::app("mcf").withShard(3, 3),
@@ -231,6 +283,63 @@ counters(const SimResult &r)
             r.pbEvictedUnused,
             r.footprintPages,
             r.contextSwitches};
+}
+
+TEST(WorkloadSpecShard, ExpandShardsClampsFanoutToRefs)
+{
+    MechanismSpec dp = MechanismSpec::parse("dp");
+
+    // N = refs + 1 (and far beyond): the fan-out must clamp to refs
+    // single-reference windows, never produce an empty shard.
+    for (std::uint64_t refs : {1u, 5u, 7u}) {
+        SweepJob job =
+            SweepJob::functional(WorkloadSpec::app("gcc"), dp, refs);
+        std::uint32_t shards = static_cast<std::uint32_t>(refs) + 1;
+        ShardPlan plan = expandShards({job}, shards);
+        if (refs == 1) {
+            // A single reference cannot be split at all.
+            ASSERT_EQ(plan.jobs.size(), 1u);
+            EXPECT_FALSE(plan.jobs[0].workload.sharded());
+        } else {
+            ASSERT_EQ(plan.jobs.size(), refs);
+        }
+        std::uint64_t expected_begin = 0;
+        for (const SweepJob &shard : plan.jobs) {
+            auto [begin, end] = shard.workload.shardWindow(refs);
+            EXPECT_EQ(begin, expected_begin);
+            EXPECT_GT(end, begin);
+            expected_begin = end;
+        }
+        EXPECT_EQ(expected_begin, refs);
+
+        // And the merged counters still equal the unsharded run, in
+        // both warm-up modes.
+        SweepResult unsharded = runSweepJob(job);
+        for (ShardWarmup warmup :
+             {ShardWarmup::Replay, ShardWarmup::Checkpoint}) {
+            std::vector<SweepResult> merged =
+                SweepEngine(2).runSharded({job}, shards, warmup);
+            ASSERT_EQ(merged.size(), 1u);
+            EXPECT_EQ(counters(merged[0].functional),
+                      counters(unsharded.functional))
+                << refs << " refs at " << shards << " shards, "
+                << shardWarmupName(warmup) << " warm-up";
+        }
+    }
+
+    // A prime ref budget through the full map/reduce.
+    SweepJob prime =
+        SweepJob::functional(WorkloadSpec::app("gcc"), dp, 1009);
+    SweepResult unsharded = runSweepJob(prime);
+    for (ShardWarmup warmup :
+         {ShardWarmup::Replay, ShardWarmup::Checkpoint}) {
+        std::vector<SweepResult> merged =
+            SweepEngine(2).runSharded({prime}, 8, warmup);
+        ASSERT_EQ(merged.size(), 1u);
+        EXPECT_EQ(counters(merged[0].functional),
+                  counters(unsharded.functional))
+            << shardWarmupName(warmup);
+    }
 }
 
 TEST(WorkloadSpecShard, MergedCountersAreBitIdenticalToUnsharded)
