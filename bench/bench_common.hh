@@ -35,6 +35,11 @@
  *                                  (~(N+1)/2x total CPU, best latency
  *                                  on many cores) or the default
  *                                  checkpoint chain (~1x total CPU)
+ *   --single-pass on|off           batch consecutive same-stream
+ *                                  functional cells into one stream
+ *                                  pass over N simulators (default
+ *                                  on; bit-identical results either
+ *                                  way; ignored when --shards > 1)
  *
  * The pre-registry per-scheme flags (--scheme/--rows/--assoc/--slots/
  * --degree/--adaptive/--reach) were deprecated in the release that
@@ -76,6 +81,12 @@ struct BenchOptions
     std::uint32_t shards = 1;      ///< shard fan-out per functional cell
     /** How sharded cells warm up (--shard-warmup). */
     ShardWarmup shardWarmup = ShardWarmup::Checkpoint;
+    /**
+     * Drain each distinct stream once for all of its mechanisms
+     * (--single-pass, default on).  Only applies to unsharded runs;
+     * results are bit-identical in both settings.
+     */
+    bool singlePass = true;
 };
 
 /** The option names every bench accepts (one source of truth). */
@@ -84,7 +95,8 @@ standardBenchFlags()
 {
     return {"refs",     "csv",    "json",     "apps",
             "threads",  "workload", "app",    "shards",
-            "shard-warmup", "mech", "list-mechanisms"};
+            "shard-warmup", "mech", "list-mechanisms",
+            "single-pass"};
 }
 
 /**
@@ -246,6 +258,16 @@ parseBenchOptions(int argc, const char *const *argv,
             tlbpf_fatal(e.what());
         }
     }
+    if (args.has("single-pass")) {
+        std::string value = args.get("single-pass");
+        if (value == "on")
+            options.singlePass = true;
+        else if (value == "off")
+            options.singlePass = false;
+        else
+            tlbpf_fatal("--single-pass must be on or off, got '",
+                        value, "'");
+    }
     return options;
 }
 
@@ -366,6 +388,10 @@ inline std::vector<SweepResult>
 runBatch(const BenchOptions &options, const std::vector<SweepJob> &jobs)
 {
     try {
+        if (options.shards <= 1 && options.singlePass) {
+            SweepEngine engine(options.threads);
+            return engine.run(jobs, PassMode::SinglePass);
+        }
         // No point spinning up more workers than the schedule has
         // independent tasks (checkpoint chains serialise a cell's
         // shards into one task).

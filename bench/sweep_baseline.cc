@@ -29,6 +29,15 @@
  * so the registry's construction overhead is tracked in
  * BENCH_sweep.json alongside cells/sec.
  *
+ * A fourth phase measures the single-pass multi-mechanism win: the
+ * full figure-7 mechanism set replayed from one trace on a one-worker
+ * engine, timed in per-mechanism mode (the trace is decoded once per
+ * mechanism) and single-pass mode (decoded once for the whole sweep),
+ * with the counters checked identical between the modes.  The ratio
+ * lands in BENCH_sweep.json as single_pass_speedup, and the
+ * single-cell inner-loop throughput as refs_per_sec, so hot-loop
+ * regressions are visible independently of engine overhead.
+ *
  * Usage: sweep_baseline [--refs N] [--threads N] [--json out.json]
  *                       [--mech spec,...] [--list-mechanisms]
  */
@@ -37,6 +46,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "trace/trace_file.hh"
 
 int
 main(int argc, char **argv)
@@ -172,6 +182,49 @@ main(int argc, char **argv)
         std::chrono::duration<double>(Clock::now() - t0).count();
     double builds_per_sec = static_cast<double>(builds) / registry_s;
 
+    // Single-pass multi-mechanism speedup on the figure-7 mechanism
+    // set, replayed from a trace: the stream whose redundancy the
+    // single-pass mode removes.  The bench dumps its own temp trace
+    // (there is no committed trace of useful length), then times both
+    // pass modes on a one-worker engine so wall-clock equals total
+    // CPU; the counters must not differ between the modes.
+    const std::string pass_trace = "sweep_baseline_stream.tpf";
+    {
+        auto stream = WorkloadSpec::app("mcf").build(options.refs);
+        dumpTrace(*stream, pass_trace);
+    }
+    std::vector<SweepJob> pass_jobs;
+    for (const MechanismSpec &spec : figure7Specs())
+        pass_jobs.push_back(SweepJob::functional(
+            WorkloadSpec::trace(pass_trace), spec, options.refs));
+    SweepEngine pass_engine(1);
+    std::vector<SweepResult> per_mech_results;
+    std::vector<SweepResult> single_pass_results;
+    double per_mech_s = best_of([&] {
+        per_mech_results =
+            pass_engine.run(pass_jobs, PassMode::PerMechanism);
+    });
+    double single_pass_s = best_of([&] {
+        single_pass_results =
+            pass_engine.run(pass_jobs, PassMode::SinglePass);
+    });
+    for (std::size_t i = 0; i < pass_jobs.size(); ++i) {
+        const SimResult &a = per_mech_results[i].functional;
+        const SimResult &b = single_pass_results[i].functional;
+        if (a.refs != b.refs || a.misses != b.misses ||
+            a.pbHits != b.pbHits ||
+            a.prefetchesIssued != b.prefetchesIssued)
+            tlbpf_fatal("single-pass run diverged from per-mechanism "
+                        "at cell ",
+                        i, " (", pass_jobs[i].spec.label(), ")");
+    }
+    std::remove(pass_trace.c_str());
+    double single_pass_speedup = per_mech_s / single_pass_s;
+    // Inner-loop throughput of one cell, free of engine overhead: the
+    // unsharded single-cell timing above is exactly that.
+    double refs_per_sec =
+        static_cast<double>(options.refs) / unsharded_s;
+
     // On a single-core host — or a run pinned to --threads 1 — the
     // serial-vs-parallel comparison only measures scheduling noise;
     // record null so trend tracking never mistakes a ~1.0x "speedup"
@@ -205,6 +258,11 @@ main(int argc, char **argv)
                 "in %.3fs)\n",
                 builds_per_sec,
                 static_cast<unsigned long long>(builds), registry_s);
+    std::printf("single-pass (fig7 set, %zu mechanisms, trace "
+                "replay): %.3fs vs %.3fs per-mechanism = %.2fx; "
+                "one cell sustains %.2fM refs/sec\n",
+                pass_jobs.size(), single_pass_s, per_mech_s,
+                single_pass_speedup, refs_per_sec / 1e6);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
@@ -214,7 +272,9 @@ main(int argc, char **argv)
                  "shard_fanout", "shard_unsharded_seconds",
                  "shard_replay_seconds", "shard_checkpoint_seconds",
                  "shard_overhead_replay", "shard_overhead",
-                 "registry_builds_per_sec"});
+                 "registry_builds_per_sec", "refs_per_sec",
+                 "per_mechanism_seconds", "single_pass_seconds",
+                 "single_pass_speedup"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -232,7 +292,11 @@ main(int argc, char **argv)
               TablePrinter::num(checkpoint_s, 4),
               TablePrinter::num(replay_s / unsharded_s, 3),
               TablePrinter::num(checkpoint_s / unsharded_s, 3),
-              TablePrinter::num(builds_per_sec, 1)});
+              TablePrinter::num(builds_per_sec, 1),
+              TablePrinter::num(refs_per_sec, 1),
+              TablePrinter::num(per_mech_s, 4),
+              TablePrinter::num(single_pass_s, 4),
+              TablePrinter::num(single_pass_speedup, 3)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

@@ -9,85 +9,141 @@
 namespace tlbpf
 {
 
+namespace
+{
+
+/** Map bucket sentinel for "no entry hashed here". */
+constexpr std::uint32_t kEmptySlot = UINT32_MAX;
+
+/** Initial bucket count; grown by doubling to keep load under 50%. */
+constexpr std::size_t kInitialBuckets = 1024;
+
+/** splitmix64 finalizer: strong enough that probes stay short. */
+inline std::uint64_t
+hashVpn(Vpn vpn)
+{
+    std::uint64_t x = vpn + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+PageTable::PageTable()
+    : _map(kInitialBuckets, kEmptySlot)
+{
+}
+
+std::size_t
+PageTable::probe(Vpn vpn) const
+{
+    std::size_t mask = _map.size() - 1;
+    std::size_t b = hashVpn(vpn) & mask;
+    while (_map[b] != kEmptySlot && _pool[_map[b]].vpn != vpn)
+        b = (b + 1) & mask;
+    return b;
+}
+
+void
+PageTable::grow()
+{
+    std::vector<std::uint32_t> bigger(_map.size() * 2, kEmptySlot);
+    std::size_t mask = bigger.size() - 1;
+    for (std::size_t idx = 0; idx < _pool.size(); ++idx) {
+        std::size_t b = hashVpn(_pool[idx].vpn) & mask;
+        while (bigger[b] != kEmptySlot)
+            b = (b + 1) & mask;
+        bigger[b] = static_cast<std::uint32_t>(idx);
+    }
+    _map.swap(bigger);
+}
+
 PageTableEntry &
 PageTable::lookup(Vpn vpn)
 {
-    auto [it, inserted] = _entries.try_emplace(vpn);
-    if (inserted) {
-        // Deterministic pseudo-random frame assignment; the frame value
-        // itself never feeds back into prefetching decisions.
-        it->second.pfn = mix64(vpn) & ((1ull << 40) - 1);
-        it->second.next = kNoPage;
-        it->second.prev = kNoPage;
-        it->second.inStack = false;
+    std::size_t b = probe(vpn);
+    if (_map[b] != kEmptySlot)
+        return _pool[_map[b]].pte;
+    if ((_pool.size() + 1) * 2 > _map.size()) {
+        grow();
+        b = probe(vpn);
     }
-    return it->second;
+    if (_pool.size() >= kEmptySlot)
+        tlbpf_fatal("page table footprint exceeds 2^32 - 1 pages");
+    _map[b] = static_cast<std::uint32_t>(_pool.size());
+    Slot &slot = _pool.emplace_back();
+    slot.vpn = vpn;
+    // Deterministic pseudo-random frame assignment; the frame value
+    // itself never feeds back into prefetching decisions.
+    slot.pte.pfn = mix64(vpn) & ((1ull << 40) - 1);
+    return slot.pte;
 }
 
 const PageTableEntry *
 PageTable::find(Vpn vpn) const
 {
-    auto it = _entries.find(vpn);
-    return it == _entries.end() ? nullptr : &it->second;
+    std::size_t b = probe(vpn);
+    return _map[b] == kEmptySlot ? nullptr : &_pool[_map[b]].pte;
 }
 
 PageTableEntry *
 PageTable::find(Vpn vpn)
 {
-    auto it = _entries.find(vpn);
-    return it == _entries.end() ? nullptr : &it->second;
+    std::size_t b = probe(vpn);
+    return _map[b] == kEmptySlot ? nullptr : &_pool[_map[b]].pte;
 }
 
 void
 PageTable::clear()
 {
-    _entries.clear();
+    _pool.clear();
+    _map.assign(kInitialBuckets, kEmptySlot);
 }
 
 void
 PageTable::snapshotState(SnapshotWriter &out) const
 {
-    std::vector<std::pair<Vpn, const PageTableEntry *>> entries;
-    entries.reserve(_entries.size());
-    for (const auto &[vpn, pte] : _entries)
-        entries.emplace_back(vpn, &pte);
-    std::sort(entries.begin(), entries.end(),
-              [](const auto &a, const auto &b) {
-                  return a.first < b.first;
+    std::vector<const Slot *> slots;
+    slots.reserve(_pool.size());
+    for (const Slot &slot : _pool)
+        slots.push_back(&slot);
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot *a, const Slot *b) {
+                  return a->vpn < b->vpn;
               });
-    out.u64(entries.size());
-    for (const auto &[vpn, pte] : entries) {
-        out.u64(vpn);
-        out.u64(pte->pfn);
-        out.u64(pte->next);
-        out.u64(pte->prev);
-        out.boolean(pte->inStack);
+    out.u64(slots.size());
+    for (const Slot *slot : slots) {
+        out.u64(slot->vpn);
+        out.u64(slot->pte.pfn);
+        out.u64(slot->pte.next);
+        out.u64(slot->pte.prev);
+        out.boolean(slot->pte.inStack);
     }
 }
 
 void
 PageTable::restoreState(SnapshotReader &in)
 {
-    _entries.clear();
+    clear();
     std::uint64_t count = in.u64();
     // 33 bytes per serialized PTE: a corrupt count field must fail
     // with the clean checkpoint error, not a length_error/bad_alloc
-    // from reserve().
+    // from an oversized allocation.
     if (count > in.remaining() / 33)
         SnapshotReader::fail(
             "page table entry count " + std::to_string(count) +
             " exceeds the checkpoint's remaining bytes");
-    _entries.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
         Vpn vpn = in.u64();
-        PageTableEntry pte;
+        if (find(vpn))
+            SnapshotReader::fail("duplicate page table entry in "
+                                 "checkpoint");
+        PageTableEntry &pte = lookup(vpn);
         pte.pfn = in.u64();
         pte.next = in.u64();
         pte.prev = in.u64();
         pte.inStack = in.boolean();
-        if (!_entries.emplace(vpn, pte).second)
-            SnapshotReader::fail("duplicate page table entry in "
-                                 "checkpoint");
     }
 }
 

@@ -14,8 +14,9 @@
 #define TLBPF_MEM_PAGE_TABLE_HH
 
 #include <cstdint>
+#include <deque>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "trace/ref_stream.hh"
 #include "util/snapshot.hh"
@@ -48,6 +49,8 @@ constexpr Vpn kNoPage = UINT64_MAX;
 class PageTable
 {
   public:
+    PageTable();
+
     /** Translate, allocating the PTE on first touch. */
     PageTableEntry &lookup(Vpn vpn);
 
@@ -56,7 +59,7 @@ class PageTable
     PageTableEntry *find(Vpn vpn);
 
     /** Number of PTEs materialised (the footprint in pages). */
-    std::size_t size() const { return _entries.size(); }
+    std::size_t size() const { return _pool.size(); }
 
     /**
      * Bytes of extra page-table storage RP's two link words cost,
@@ -77,7 +80,29 @@ class PageTable
     void restoreState(SnapshotReader &in);
 
   private:
-    std::unordered_map<Vpn, PageTableEntry> _entries;
+    struct Slot
+    {
+        Vpn vpn = kNoPage;
+        PageTableEntry pte;
+    };
+
+    /** Map bucket holding @p vpn, or the empty bucket it would use. */
+    std::size_t probe(Vpn vpn) const;
+    /** Double the bucket array and rehome every pool index. */
+    void grow();
+
+    /**
+     * Entry pool plus an open-addressing vpn -> pool-index map (linear
+     * probing, load kept under 50%).  A deque grows without relocating
+     * elements, so the PageTableEntry references lookup()/find() hand
+     * out stay valid for the table's lifetime — RecencyStack holds one
+     * across further lookups.  Replaces unordered_map: translation is
+     * on the per-miss path, and RP's stack maintenance does several
+     * translations per miss, so the node-chasing bucket lists showed
+     * up hard in the simulate-loop profile.
+     */
+    std::deque<Slot> _pool;
+    std::vector<std::uint32_t> _map;
 };
 
 /**

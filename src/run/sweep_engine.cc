@@ -109,6 +109,25 @@ mergeShardResults(const ShardPlan &plan,
 }
 
 const char *
+passModeName(PassMode mode)
+{
+    return mode == PassMode::PerMechanism ? "per-mechanism"
+                                          : "single-pass";
+}
+
+PassMode
+parsePassMode(const std::string &text)
+{
+    if (text == "per-mechanism")
+        return PassMode::PerMechanism;
+    if (text == "single-pass")
+        return PassMode::SinglePass;
+    throw std::invalid_argument(
+        "unknown pass mode '" + text +
+        "' (expected per-mechanism or single-pass)");
+}
+
+const char *
 shardWarmupName(ShardWarmup warmup)
 {
     return warmup == ShardWarmup::Replay ? "replay" : "checkpoint";
@@ -212,6 +231,52 @@ buildShardUnits(const ShardPlan &plan)
     return units;
 }
 
+/** One single-pass task: consecutive same-stream jobs (or a single). */
+struct PassUnit
+{
+    std::size_t start = 0;
+    std::size_t count = 1;
+};
+
+/** Whether a cell is eligible for single-pass batching at all. */
+bool
+passBatchable(const SweepJob &job)
+{
+    return job.mode == JobMode::Functional && !job.workload.sharded() &&
+           job.refs > 0;
+}
+
+/** Whether two eligible cells would drain the very same stream. */
+bool
+sameStream(const SweepJob &a, const SweepJob &b)
+{
+    return a.workload == b.workload && a.refs == b.refs &&
+           a.config == b.config;
+}
+
+/**
+ * Greedy grouping of consecutive same-stream cells.  Only adjacent
+ * jobs group, so submission order — and therefore the result order
+ * and the lowest-index error contract — is preserved trivially.
+ */
+std::vector<PassUnit>
+buildPassUnits(const std::vector<SweepJob> &jobs)
+{
+    std::vector<PassUnit> units;
+    std::size_t i = 0;
+    while (i < jobs.size()) {
+        std::size_t j = i + 1;
+        if (passBatchable(jobs[i])) {
+            while (j < jobs.size() && passBatchable(jobs[j]) &&
+                   sameStream(jobs[i], jobs[j]))
+                ++j;
+        }
+        units.push_back(PassUnit{i, j - i});
+        i = j;
+    }
+    return units;
+}
+
 } // namespace
 
 std::size_t
@@ -228,6 +293,40 @@ SweepEngine::run(const std::vector<SweepJob> &jobs)
     std::vector<SweepResult> results(jobs.size());
     _pool.parallelFor(jobs.size(), [&](std::size_t i) {
         results[i] = runSweepJob(jobs[i]);
+    });
+    return results;
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode)
+{
+    if (mode == PassMode::PerMechanism)
+        return run(jobs);
+
+    std::vector<PassUnit> units = buildPassUnits(jobs);
+    std::vector<SweepResult> results(jobs.size());
+    _pool.parallelFor(units.size(), [&](std::size_t u) {
+        const PassUnit &unit = units[u];
+        if (unit.count == 1) {
+            results[unit.start] = runSweepJob(jobs[unit.start]);
+            return;
+        }
+        const SweepJob &first = jobs[unit.start];
+        std::vector<MechanismSpec> specs;
+        specs.reserve(unit.count);
+        for (std::size_t k = 0; k < unit.count; ++k)
+            specs.push_back(jobs[unit.start + k].spec);
+        auto stream = first.workload.build(first.refs);
+        std::vector<SimResult> counters =
+            simulateMany(first.config, specs, *stream);
+        for (std::size_t k = 0; k < unit.count; ++k) {
+            const SweepJob &job = jobs[unit.start + k];
+            SweepResult &result = results[unit.start + k];
+            result.mode = job.mode;
+            result.workload = job.workload.label();
+            result.mechanism = job.spec.label();
+            result.functional = counters[k];
+        }
     });
     return results;
 }

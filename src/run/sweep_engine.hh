@@ -69,6 +69,39 @@ enum class ShardWarmup
     Checkpoint ///< shards chain end-of-window snapshots (~1x work)
 };
 
+/**
+ * How a batch with several mechanisms over the same stream executes.
+ *
+ *   PassMode::PerMechanism  every cell builds and drains its own
+ *                           stream (the historical behaviour; maximal
+ *                           cross-cell parallelism).
+ *   PassMode::SinglePass    consecutive functional cells that share a
+ *                           workload, reference budget and geometry
+ *                           run as ONE stream pass feeding one
+ *                           independent simulator per mechanism
+ *                           (simulateMany), so the stream is
+ *                           generated/decoded once instead of N
+ *                           times.  Results are bit-identical to
+ *                           PerMechanism in the same submission
+ *                           order; cells that cannot batch (timing
+ *                           mode, sharded workloads, singletons) fall
+ *                           through to runSweepJob unchanged.
+ */
+enum class PassMode
+{
+    PerMechanism,
+    SinglePass
+};
+
+/** Canonical flag value: "per-mechanism" or "single-pass". */
+const char *passModeName(PassMode mode);
+
+/**
+ * Parse a pass-mode value ("per-mechanism"/"single-pass"); throws
+ * std::invalid_argument on anything else.
+ */
+PassMode parsePassMode(const std::string &text);
+
 /** Canonical flag value: "replay" or "checkpoint". */
 const char *shardWarmupName(ShardWarmup warmup);
 
@@ -142,6 +175,15 @@ class SweepEngine
      * until the batch drains; rethrows the lowest-index job failure.
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs);
+
+    /**
+     * run() with an explicit pass mode.  PassMode::SinglePass batches
+     * consecutive same-stream functional cells into one stream pass
+     * each (see PassMode); results are bit-identical to
+     * PassMode::PerMechanism.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 PassMode mode);
 
     /**
      * Map-reduce over shards: expandShards -> execute -> merge;

@@ -121,7 +121,9 @@ accuracySweep(const WorkloadSpec &workload,
     SweepEngine engine(threads);
     std::vector<SweepResult> results;
     try {
-        results = engine.run(jobs);
+        // One workload, N mechanisms: the canonical single-pass
+        // shape — the stream is generated once for all cells.
+        results = engine.run(jobs, PassMode::SinglePass);
     } catch (const std::invalid_argument &e) {
         tlbpf_fatal(e.what());
     }

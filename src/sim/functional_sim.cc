@@ -1,6 +1,9 @@
 #include "sim/functional_sim.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/bits.hh"
 
 namespace tlbpf
 {
@@ -13,6 +16,17 @@ FunctionalSimulator::FunctionalSimulator(const SimConfig &config,
       _buffer(config.pbEntries),
       _prefetcher(spec.build(_pt))
 {
+    if (isPowerOfTwo(_config.pageBytes))
+        _pageShift = floorLog2(_config.pageBytes);
+}
+
+Vpn
+FunctionalSimulator::pageOf(const MemRef &ref) const
+{
+    // The paper's page sizes are powers of two, so the hot path is a
+    // shift; the division is kept for exotic configs.
+    return _pageShift != UINT32_MAX ? ref.vaddr >> _pageShift
+                                    : ref.vpn(_config.pageBytes);
 }
 
 void
@@ -28,7 +42,7 @@ FunctionalSimulator::process(const MemRef &ref)
         ++_result.contextSwitches;
     }
     ++_result.refs;
-    Vpn vpn = ref.vpn(_config.pageBytes);
+    Vpn vpn = pageOf(ref);
 
     if (_tlb.access(vpn)) {
         // Ablation mode: the prefetcher observes hits as well (it sits
@@ -214,10 +228,40 @@ simulate(const SimConfig &config, const MechanismSpec &spec,
          RefStream &stream)
 {
     FunctionalSimulator sim(config, spec);
-    MemRef ref;
-    while (stream.next(ref))
-        sim.process(ref);
+    std::vector<MemRef> block(kSimBatchRefs);
+    std::size_t got;
+    while ((got = stream.nextBatch(block.data(), block.size())) > 0) {
+        for (std::size_t i = 0; i < got; ++i)
+            sim.process(block[i]);
+    }
     return sim.result();
+}
+
+std::vector<SimResult>
+simulateMany(const SimConfig &config,
+             const std::vector<MechanismSpec> &specs, RefStream &stream)
+{
+    // unique_ptr, not by value: a simulator's prefetcher holds a
+    // reference to the simulator's own page table, so the object must
+    // never relocate.
+    std::vector<std::unique_ptr<FunctionalSimulator>> sims;
+    sims.reserve(specs.size());
+    for (const MechanismSpec &spec : specs)
+        sims.push_back(
+            std::make_unique<FunctionalSimulator>(config, spec));
+    std::vector<MemRef> block(kSimBatchRefs);
+    std::size_t got;
+    while ((got = stream.nextBatch(block.data(), block.size())) > 0) {
+        for (auto &sim : sims) {
+            for (std::size_t i = 0; i < got; ++i)
+                sim->process(block[i]);
+        }
+    }
+    std::vector<SimResult> results;
+    results.reserve(sims.size());
+    for (auto &sim : sims)
+        results.push_back(sim->result());
+    return results;
 }
 
 void
@@ -258,6 +302,27 @@ counterDelta(const SimResult &end, const SimResult &start)
     return delta;
 }
 
+/**
+ * Feed @p sim batched references until @p processed reaches @p limit
+ * or the stream ends.
+ */
+void
+simulateUpTo(FunctionalSimulator &sim, RefStream &stream,
+             std::uint64_t limit, std::uint64_t &processed)
+{
+    std::vector<MemRef> block(kSimBatchRefs);
+    while (processed < limit) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(limit - processed, block.size()));
+        std::size_t got = stream.nextBatch(block.data(), want);
+        for (std::size_t i = 0; i < got; ++i)
+            sim.process(block[i]);
+        processed += got;
+        if (got < want)
+            break;
+    }
+}
+
 } // namespace
 
 SimResult
@@ -266,18 +331,11 @@ simulateWindow(const SimConfig &config, const MechanismSpec &spec,
                std::uint64_t take)
 {
     FunctionalSimulator sim(config, spec);
-    MemRef ref;
     std::uint64_t processed = 0;
-    while (processed < skip && stream.next(ref)) {
-        sim.process(ref);
-        ++processed;
-    }
+    simulateUpTo(sim, stream, skip, processed);
     SimResult start = sim.result();
     std::uint64_t end = take > ~0ull - skip ? ~0ull : skip + take;
-    while (processed < end && stream.next(ref)) {
-        sim.process(ref);
-        ++processed;
-    }
+    simulateUpTo(sim, stream, end, processed);
     return counterDelta(sim.result(), start);
 }
 
@@ -290,12 +348,8 @@ simulateWindowFrom(const SimConfig &config, const MechanismSpec &spec,
     if (warm)
         sim.restore(*warm);
     SimResult start = sim.result();
-    MemRef ref;
     std::uint64_t processed = 0;
-    while (processed < take && stream.next(ref)) {
-        sim.process(ref);
-        ++processed;
-    }
+    simulateUpTo(sim, stream, take, processed);
     SimResult delta = counterDelta(sim.result(), start);
     if (end_state)
         *end_state = sim.snapshot();

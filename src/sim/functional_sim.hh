@@ -62,6 +62,8 @@ struct SimConfig
      * process's page table becoming active.
      */
     std::uint64_t contextSwitchInterval = 0;
+
+    bool operator==(const SimConfig &other) const = default;
 };
 
 /** Counters produced by a simulation run. */
@@ -167,8 +169,12 @@ class FunctionalSimulator
     Prefetcher *prefetcher() { return _prefetcher.get(); }
 
   private:
+    Vpn pageOf(const MemRef &ref) const;
+
     SimConfig _config;
     std::string _mechLabel;
+    /** log2(pageBytes) when it is a power of two, else UINT32_MAX. */
+    std::uint32_t _pageShift = UINT32_MAX;
     PageTable _pt;
     Tlb _tlb;
     PrefetchBuffer _buffer;
@@ -177,9 +183,28 @@ class FunctionalSimulator
     SimResult _result;
 };
 
+/**
+ * References pulled per nextBatch call by the batched simulate loops:
+ * large enough to amortise the virtual dispatch, small enough that the
+ * block stays cache-resident while N simulators consume it.
+ */
+constexpr std::size_t kSimBatchRefs = 4096;
+
 /** Run @p stream to exhaustion under @p spec and return the counters. */
 SimResult simulate(const SimConfig &config, const MechanismSpec &spec,
                    RefStream &stream);
+
+/**
+ * Run @p stream to exhaustion once, feeding every reference block to
+ * one independent simulator per mechanism in @p specs — the
+ * single-pass multi-mechanism mode.  The simulators share nothing but
+ * the decoded reference blocks, so result i is bit-identical to
+ * simulate(config, specs[i], stream) over a fresh stream; the stream
+ * generation/decode cost is paid once instead of specs.size() times.
+ */
+std::vector<SimResult> simulateMany(const SimConfig &config,
+                                    const std::vector<MechanismSpec> &specs,
+                                    RefStream &stream);
 
 /**
  * Add every counter of @p from into @p into — the reduce step that

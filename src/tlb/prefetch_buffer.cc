@@ -1,6 +1,6 @@
 #include "tlb/prefetch_buffer.hh"
 
-#include <iterator>
+#include <algorithm>
 
 #include "util/logging.hh"
 
@@ -12,54 +12,60 @@ PrefetchBuffer::PrefetchBuffer(std::uint32_t entries)
 {
     if (entries == 0)
         tlbpf_fatal("prefetch buffer needs at least one entry");
+    _nodes.reserve(entries);
 }
 
 bool
 PrefetchBuffer::hitAndPromote(Vpn vpn, Tick &ready_at)
 {
-    auto it = _index.find(vpn);
-    if (it == _index.end())
-        return false;
-    ready_at = it->second->readyAt;
-    _lru.erase(it->second);
-    _index.erase(it);
-    ++_hits;
-    return true;
+    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+        if (_nodes[i].vpn == vpn) {
+            ready_at = _nodes[i].readyAt;
+            _nodes.erase(_nodes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            ++_hits;
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
 PrefetchBuffer::contains(Vpn vpn) const
 {
-    return _index.count(vpn) > 0;
+    for (const Node &node : _nodes)
+        if (node.vpn == vpn)
+            return true;
+    return false;
 }
 
 void
 PrefetchBuffer::insert(Vpn vpn, Tick ready_at)
 {
-    auto it = _index.find(vpn);
-    if (it != _index.end()) {
-        // Refresh: move to MRU and keep the earlier ready time (the
-        // data is already on its way).
-        it->second->readyAt = std::min(it->second->readyAt, ready_at);
-        _lru.splice(_lru.begin(), _lru, it->second);
-        return;
+    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+        if (_nodes[i].vpn == vpn) {
+            // Refresh: move to MRU and keep the earlier ready time (the
+            // data is already on its way).
+            Node node = _nodes[i];
+            node.readyAt = std::min(node.readyAt, ready_at);
+            _nodes.erase(_nodes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            _nodes.insert(_nodes.begin(), node);
+            return;
+        }
     }
-    if (_lru.size() >= _capacity) {
-        const Node &victim = _lru.back();
-        _index.erase(victim.vpn);
-        _lru.pop_back();
+    if (_nodes.size() >= _capacity) {
+        _nodes.pop_back();
         ++_evictedUnused;
     }
-    _lru.push_front(Node{vpn, ready_at});
-    _index[vpn] = _lru.begin();
+    _nodes.insert(_nodes.begin(), Node{vpn, ready_at});
     ++_inserts;
 }
 
 void
 PrefetchBuffer::flush()
 {
-    _lru.clear();
-    _index.clear();
+    _nodes.clear();
 }
 
 void
@@ -69,8 +75,8 @@ PrefetchBuffer::snapshotState(SnapshotWriter &out) const
     out.u64(_inserts);
     out.u64(_hits);
     out.u64(_evictedUnused);
-    out.u64(_lru.size());
-    for (const Node &node : _lru) { // front (MRU) first
+    out.u64(_nodes.size());
+    for (const Node &node : _nodes) { // front (MRU) first
         out.u64(node.vpn);
         out.u64(node.readyAt);
     }
@@ -90,15 +96,14 @@ PrefetchBuffer::restoreState(SnapshotReader &in)
     std::uint64_t count = in.u64();
     if (count > _capacity)
         SnapshotReader::fail("prefetch buffer overfull in checkpoint");
-    _lru.clear();
-    _index.clear();
+    _nodes.clear();
     for (std::uint64_t i = 0; i < count; ++i) {
         Vpn vpn = in.u64();
         Tick ready_at = in.u64();
-        _lru.push_back(Node{vpn, ready_at});
-        if (!_index.emplace(vpn, std::prev(_lru.end())).second)
+        if (contains(vpn))
             SnapshotReader::fail(
                 "duplicate prefetch buffer entry in checkpoint");
+        _nodes.push_back(Node{vpn, ready_at});
     }
 }
 

@@ -15,8 +15,7 @@
 #define TLBPF_TLB_PREFETCH_BUFFER_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/prefetch_channel.hh"
 #include "trace/ref_stream.hh"
@@ -54,7 +53,7 @@ class PrefetchBuffer
     void flush();
 
     std::uint32_t capacity() const { return _capacity; }
-    std::size_t size() const { return _lru.size(); }
+    std::size_t size() const { return _nodes.size(); }
 
     /** Lifetime counters for prefetch-efficiency metrics. */
     std::uint64_t inserts() const { return _inserts; }
@@ -78,8 +77,14 @@ class PrefetchBuffer
     };
 
     std::uint32_t _capacity;
-    std::list<Node> _lru; // front = most recently inserted/refreshed
-    std::unordered_map<Vpn, std::list<Node>::iterator> _index;
+    /**
+     * MRU-first flat array.  The buffer is probed on every reference
+     * and mutated on every miss and prefetch, and at the default 16
+     * entries the whole thing is four cache lines: linear scans and
+     * memmove-style shifts are far cheaper than the list/hash-map pair
+     * they replace, which paid an allocation per insert.
+     */
+    std::vector<Node> _nodes;
 
     std::uint64_t _inserts = 0;
     std::uint64_t _hits = 0;

@@ -1,5 +1,7 @@
 #include "trace/adaptors.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace tlbpf
@@ -23,6 +25,16 @@ TakeStream::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+TakeStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, _limit - _taken));
+    std::size_t got = _inner->nextBatch(buf, want);
+    _taken += got;
+    return got;
+}
+
 void
 TakeStream::reset()
 {
@@ -44,18 +56,36 @@ SkipStream::SkipStream(std::unique_ptr<RefStream> inner,
     tlbpf_assert(_inner != nullptr, "SkipStream needs a stream");
 }
 
+void
+SkipStream::ensureSkipped()
+{
+    if (_skipped)
+        return;
+    MemRef scratch[256];
+    std::uint64_t remaining = _count;
+    while (remaining > 0) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(remaining, std::size(scratch)));
+        std::size_t got = _inner->nextBatch(scratch, want);
+        remaining -= got;
+        if (got < want)
+            break; // inner exhausted inside the skip window
+    }
+    _skipped = true;
+}
+
 bool
 SkipStream::next(MemRef &ref)
 {
-    if (!_skipped) {
-        MemRef scratch;
-        for (std::uint64_t i = 0; i < _count; ++i) {
-            if (!_inner->next(scratch))
-                break;
-        }
-        _skipped = true;
-    }
+    ensureSkipped();
     return _inner->next(ref);
+}
+
+std::size_t
+SkipStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    ensureSkipped();
+    return _inner->nextBatch(buf, n);
 }
 
 void
@@ -119,6 +149,41 @@ InterleaveStream::next(MemRef &ref)
     return false;
 }
 
+std::size_t
+InterleaveStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    // Same rotation logic as next(), but each visit to a live stream
+    // pulls a whole weight quantum (or what fits in @p buf) in one
+    // inner nextBatch call.
+    std::size_t filled = 0;
+    std::size_t attempts = 0;
+    while (filled < n && attempts < _inners.size()) {
+        if (_done[_cursor]) {
+            advanceCursor();
+            ++attempts;
+            continue;
+        }
+        if (_emitted >= _weights[_cursor]) {
+            advanceCursor();
+            attempts = 0;
+            continue;
+        }
+        std::size_t want = std::min<std::size_t>(
+            n - filled, _weights[_cursor] - _emitted);
+        std::size_t got = _inners[_cursor]->nextBatch(buf + filled, want);
+        filled += got;
+        _emitted += static_cast<std::uint32_t>(got);
+        if (got < want) {
+            _done[_cursor] = true;
+            advanceCursor();
+            ++attempts;
+        } else {
+            attempts = 0;
+        }
+    }
+    return filled;
+}
+
 void
 InterleaveStream::reset()
 {
@@ -156,6 +221,18 @@ ConcatStream::next(MemRef &ref)
         ++_cursor;
     }
     return false;
+}
+
+std::size_t
+ConcatStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && _cursor < _inners.size()) {
+        filled += _inners[_cursor]->nextBatch(buf + filled, n - filled);
+        if (filled < n)
+            ++_cursor; // current inner is exhausted
+    }
+    return filled;
 }
 
 void

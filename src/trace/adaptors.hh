@@ -23,6 +23,7 @@ class TakeStream : public RefStream
     TakeStream(std::unique_ptr<RefStream> inner, std::uint64_t limit);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -39,10 +40,13 @@ class SkipStream : public RefStream
     SkipStream(std::unique_ptr<RefStream> inner, std::uint64_t count);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
   private:
+    void ensureSkipped();
+
     std::unique_ptr<RefStream> _inner;
     std::uint64_t _count;
     bool _skipped = false;
@@ -60,6 +64,7 @@ class InterleaveStream : public RefStream
                      std::vector<std::uint32_t> weights);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -80,6 +85,7 @@ class ConcatStream : public RefStream
     explicit ConcatStream(std::vector<std::unique_ptr<RefStream>> inners);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 

@@ -1,9 +1,19 @@
 #include "trace/ref_stream.hh"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace tlbpf
 {
+
+std::size_t
+RefStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && next(buf[filled]))
+        ++filled;
+    return filled;
+}
 
 VectorStream::VectorStream(std::vector<MemRef> refs)
     : _refs(std::move(refs))
@@ -17,6 +27,16 @@ VectorStream::next(MemRef &ref)
         return false;
     ref = _refs[_pos++];
     return true;
+}
+
+std::size_t
+VectorStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t take = std::min(n, _refs.size() - _pos);
+    std::copy_n(_refs.begin() + static_cast<std::ptrdiff_t>(_pos),
+                take, buf);
+    _pos += take;
+    return take;
 }
 
 std::string

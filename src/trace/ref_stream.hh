@@ -57,6 +57,12 @@ struct MemRef
  * next() fills @p ref and returns true, or returns false at end of
  * stream.  Streams are single-pass; use reset() to rewind when the
  * concrete stream supports it (all synthetic generators do).
+ *
+ * nextBatch() is the bulk form the hot simulate loop uses: it fills a
+ * caller-owned flat buffer so the per-reference cost is one array
+ * iteration, not one virtual call.  The two forms are interchangeable
+ * mid-stream — a batch picks up exactly where next() left off and
+ * vice versa.
  */
 class RefStream
 {
@@ -65,6 +71,16 @@ class RefStream
 
     /** Produce the next reference; false at end of stream. */
     virtual bool next(MemRef &ref) = 0;
+
+    /**
+     * Fill up to @p n entries of @p buf; returns how many were
+     * produced, 0 at end of stream.  Semantically identical to
+     * calling next() @p n times (the base implementation does exactly
+     * that); concrete streams override it with devirtualised
+     * flat-buffer fills.  A short count (< @p n) is returned only at
+     * end of stream, so callers may loop on `nextBatch(...) > 0`.
+     */
+    virtual std::size_t nextBatch(MemRef *buf, std::size_t n);
 
     /** Rewind to the beginning (regenerates identically). */
     virtual void reset() = 0;
@@ -80,6 +96,7 @@ class VectorStream : public RefStream
     explicit VectorStream(std::vector<MemRef> refs);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override { _pos = 0; }
     std::string describe() const override;
 

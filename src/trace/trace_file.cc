@@ -15,12 +15,67 @@ namespace
 constexpr char kMagic[4] = {'T', 'P', 'F', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
+// The header is serialized field-by-field as explicit little-endian
+// bytes (matching the snapshot format), never as a raw struct image,
+// so a trace written on any host decodes on any other.  Layout:
+// bytes 0-3 magic "TPFT", 4-7 version (LE u32), 8-15 count (LE u64).
+
+void
+putLe32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void
+putLe64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t
+getLe32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getLe64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
 struct Header
 {
-    char magic[4];
-    std::uint32_t version;
-    std::uint64_t count;
+    bool magicOk = false;
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
 };
+
+void
+encodeHeader(std::uint8_t (&bytes)[kTraceHeaderBytes], std::uint64_t count)
+{
+    std::memcpy(bytes, kMagic, sizeof(kMagic));
+    putLe32(bytes + 4, kVersion);
+    putLe64(bytes + 8, count);
+}
+
+Header
+decodeHeader(const std::uint8_t (&bytes)[kTraceHeaderBytes])
+{
+    Header hdr;
+    hdr.magicOk = std::memcmp(bytes, kMagic, sizeof(kMagic)) == 0;
+    hdr.version = getLe32(bytes + 4);
+    hdr.count = getLe64(bytes + 8);
+    return hdr;
+}
 
 /**
  * The one header validator both the probe and the reader use:
@@ -32,7 +87,7 @@ checkHeader(const std::string &path, const Header &hdr, bool read_ok)
 {
     if (!read_ok)
         return "trace file '" + path + "' truncated header";
-    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+    if (!hdr.magicOk)
         return "trace file '" + path + "' has bad magic";
     if (hdr.version != kVersion)
         return "trace file '" + path + "' has unsupported version " +
@@ -49,12 +104,7 @@ TraceWriter::TraceWriter(const std::string &path)
     if (!_file)
         tlbpf_fatal("cannot open trace file '", path, "' for writing");
     _open = true;
-    Header hdr{};
-    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
-    hdr.version = kVersion;
-    hdr.count = 0; // patched in close()
-    if (std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1)
-        tlbpf_fatal("cannot write trace header to '", path, "'");
+    writeHeader(); // count patched in close()
 }
 
 TraceWriter::~TraceWriter()
@@ -63,13 +113,29 @@ TraceWriter::~TraceWriter()
 }
 
 void
+TraceWriter::writeHeader()
+{
+    std::uint8_t bytes[kTraceHeaderBytes];
+    encodeHeader(bytes, _count);
+    if (std::fwrite(bytes, sizeof(bytes), 1, _file) != 1)
+        tlbpf_fatal("cannot write trace header to '", _path, "'");
+}
+
+void
+TraceWriter::putByte(int byte)
+{
+    if (std::fputc(byte, _file) == EOF)
+        tlbpf_fatal("write error on trace file '", _path, "'");
+}
+
+void
 TraceWriter::putVarint(std::uint64_t v)
 {
     while (v >= 0x80) {
-        std::fputc(static_cast<int>(v & 0x7f) | 0x80, _file);
+        putByte(static_cast<int>(v & 0x7f) | 0x80);
         v >>= 7;
     }
-    std::fputc(static_cast<int>(v), _file);
+    putByte(static_cast<int>(v));
 }
 
 void
@@ -79,7 +145,7 @@ TraceWriter::write(const MemRef &ref)
     // Record: flags byte, then zigzag deltas of vaddr/pc and icount
     // delta.  Flag bit 0 = write access.
     std::uint8_t flags = ref.isWrite ? 1 : 0;
-    std::fputc(flags, _file);
+    putByte(flags);
     putVarint(zigZagEncode(static_cast<std::int64_t>(ref.vaddr) -
                            static_cast<std::int64_t>(_prev.vaddr)));
     putVarint(zigZagEncode(static_cast<std::int64_t>(ref.pc) -
@@ -94,20 +160,23 @@ TraceWriter::close()
 {
     if (!_open)
         return;
-    Header hdr{};
-    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
-    hdr.version = kVersion;
-    hdr.count = _count;
-    std::fseek(_file, 0, SEEK_SET);
-    if (std::fwrite(&hdr, sizeof(hdr), 1, _file) != 1)
-        tlbpf_fatal("cannot patch trace header in '", _path, "'");
-    std::fclose(_file);
+    // stdio buffers writes, so a disk-full condition may only surface
+    // at flush time — flush explicitly before patching the header so
+    // a truncated body cannot end up behind a valid record count.
+    if (std::fflush(_file) != 0)
+        tlbpf_fatal("write error on trace file '", _path, "'");
+    if (std::fseek(_file, 0, SEEK_SET) != 0)
+        tlbpf_fatal("cannot seek in trace file '", _path, "'");
+    writeHeader();
+    std::FILE *file = _file;
     _file = nullptr;
     _open = false;
+    if (std::fclose(file) != 0)
+        tlbpf_fatal("write error closing trace file '", _path, "'");
 }
 
 TraceReader::TraceReader(const std::string &path, ErrorPolicy policy)
-    : _path(path), _policy(policy)
+    : _path(path), _policy(policy), _buf(1 << 16)
 {
     _file = std::fopen(path.c_str(), "rb");
     if (!_file)
@@ -140,12 +209,27 @@ TraceReader::~TraceReader()
 void
 TraceReader::readHeader()
 {
-    Header hdr{};
-    bool read_ok = std::fread(&hdr, sizeof(hdr), 1, _file) == 1;
+    // Called with the decode buffer empty (constructor and reset()),
+    // so reading the file directly here cannot skip buffered bytes.
+    std::uint8_t bytes[kTraceHeaderBytes];
+    bool read_ok = std::fread(bytes, sizeof(bytes), 1, _file) == 1;
+    Header hdr = read_ok ? decodeHeader(bytes) : Header{};
     std::string error = checkHeader(_path, hdr, read_ok);
     if (!error.empty())
         fail(error);
     _count = hdr.count;
+}
+
+int
+TraceReader::getByte()
+{
+    if (_bufPos == _bufLen) {
+        _bufLen = std::fread(_buf.data(), 1, _buf.size(), _file);
+        _bufPos = 0;
+        if (_bufLen == 0)
+            return EOF;
+    }
+    return _buf[_bufPos++];
 }
 
 bool
@@ -154,7 +238,7 @@ TraceReader::getVarint(std::uint64_t &v)
     v = 0;
     int shift = 0;
     while (true) {
-        int byte = std::fgetc(_file);
+        int byte = getByte();
         if (byte == EOF)
             return false;
         v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
@@ -171,7 +255,7 @@ TraceReader::next(MemRef &ref)
 {
     if (_readSoFar >= _count)
         return false;
-    int flags = std::fgetc(_file);
+    int flags = getByte();
     if (flags == EOF)
         fail("trace file '" + _path + "' truncated at record " +
              std::to_string(_readSoFar));
@@ -192,10 +276,23 @@ TraceReader::next(MemRef &ref)
     return true;
 }
 
+std::size_t
+TraceReader::nextBatch(MemRef *buf, std::size_t n)
+{
+    // Qualified call so the decode loop inlines instead of dispatching
+    // through the vtable once per record.
+    std::size_t filled = 0;
+    while (filled < n && TraceReader::next(buf[filled]))
+        ++filled;
+    return filled;
+}
+
 void
 TraceReader::reset()
 {
     std::fseek(_file, 0, SEEK_SET);
+    _bufPos = 0;
+    _bufLen = 0;
     readHeader();
     _readSoFar = 0;
     _prev = MemRef{};
@@ -213,9 +310,10 @@ probeTraceFile(const std::string &path)
     std::FILE *file = std::fopen(path.c_str(), "rb");
     if (!file)
         return "cannot open trace file '" + path + "'";
-    Header hdr{};
-    bool read_ok = std::fread(&hdr, sizeof(hdr), 1, file) == 1;
+    std::uint8_t bytes[kTraceHeaderBytes];
+    bool read_ok = std::fread(bytes, sizeof(bytes), 1, file) == 1;
     std::fclose(file);
+    Header hdr = read_ok ? decodeHeader(bytes) : Header{};
     return checkHeader(path, hdr, read_ok);
 }
 

@@ -14,13 +14,25 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/ref_stream.hh"
 
 namespace tlbpf
 {
 
-/** Writes a reference stream to a binary trace file. */
+/** On-disk size of the trace header (magic, version, record count). */
+constexpr std::size_t kTraceHeaderBytes = 16;
+
+/**
+ * Writes a reference stream to a binary trace file.
+ *
+ * The header is serialized field-by-field as explicit little-endian
+ * bytes (never a raw struct image), so traces written on any host
+ * decode on any other.  Every write is error-checked: a full disk or
+ * I/O error is a fatal exit naming the path, never a silently
+ * truncated trace that happens to carry a valid header.
+ */
 class TraceWriter
 {
   public:
@@ -40,7 +52,9 @@ class TraceWriter
     std::uint64_t written() const { return _count; }
 
   private:
+    void putByte(int byte);
     void putVarint(std::uint64_t v);
+    void writeHeader();
 
     std::FILE *_file = nullptr;
     std::string _path;
@@ -75,12 +89,14 @@ class TraceReader : public RefStream
     TraceReader &operator=(const TraceReader &) = delete;
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
     std::uint64_t count() const { return _count; }
 
   private:
+    int getByte();
     bool getVarint(std::uint64_t &v);
     void readHeader();
     [[noreturn]] void fail(const std::string &why);
@@ -91,6 +107,11 @@ class TraceReader : public RefStream
     std::uint64_t _count = 0;
     std::uint64_t _readSoFar = 0;
     MemRef _prev;
+    // Decode buffer: stdio's fgetc locks the stream per byte, which
+    // dominates replay cost; bulk fread into this buffer instead.
+    std::vector<std::uint8_t> _buf;
+    std::size_t _bufPos = 0;
+    std::size_t _bufLen = 0;
 };
 
 /** Copy an entire stream into a trace file; returns records written. */

@@ -98,6 +98,19 @@ StridedScan::next(MemRef &ref)
     return true;
 }
 
+
+// Generator nextBatch overrides use a qualified next() call so the
+// per-reference step inlines into one flat loop instead of a virtual
+// dispatch per reference.
+std::size_t
+StridedScan::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && StridedScan::next(buf[filled]))
+        ++filled;
+    return filled;
+}
+
 void
 StridedScan::reset()
 {
@@ -146,6 +159,16 @@ ChangingStrideScan::next(MemRef &ref)
         }
     }
     return true;
+}
+
+
+std::size_t
+ChangingStrideScan::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && ChangingStrideScan::next(buf[filled]))
+        ++filled;
+    return filled;
 }
 
 void
@@ -210,6 +233,16 @@ DistancePatternWalk::next(MemRef &ref)
         }
     }
     return true;
+}
+
+
+std::size_t
+DistancePatternWalk::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && DistancePatternWalk::next(buf[filled]))
+        ++filled;
+    return filled;
 }
 
 void
@@ -370,6 +403,16 @@ HistoryLoop::next(MemRef &ref)
     return true;
 }
 
+
+std::size_t
+HistoryLoop::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && HistoryLoop::next(buf[filled]))
+        ++filled;
+    return filled;
+}
+
 void
 HistoryLoop::reset()
 {
@@ -423,6 +466,16 @@ AlternatingPermutations::next(MemRef &ref)
     return true;
 }
 
+
+std::size_t
+AlternatingPermutations::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && AlternatingPermutations::next(buf[filled]))
+        ++filled;
+    return filled;
+}
+
 void
 AlternatingPermutations::reset()
 {
@@ -473,6 +526,16 @@ ZipfMix::next(MemRef &ref)
     return true;
 }
 
+
+std::size_t
+ZipfMix::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n && ZipfMix::next(buf[filled]))
+        ++filled;
+    return filled;
+}
+
 void
 ZipfMix::reset()
 {
@@ -511,6 +574,19 @@ PaceStream::next(MemRef &ref)
         std::llround(static_cast<double>(_emitted) * _instrPerRef));
     ++_emitted;
     return true;
+}
+
+
+std::size_t
+PaceStream::nextBatch(MemRef *buf, std::size_t n)
+{
+    std::size_t got = _inner->nextBatch(buf, n);
+    for (std::size_t i = 0; i < got; ++i) {
+        buf[i].icount = static_cast<std::uint64_t>(std::llround(
+            static_cast<double>(_emitted) * _instrPerRef));
+        ++_emitted;
+    }
+    return got;
 }
 
 void

@@ -64,6 +64,7 @@ class StridedScan : public RefStream
     explicit StridedScan(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -101,6 +102,7 @@ class ChangingStrideScan : public RefStream
     explicit ChangingStrideScan(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -138,6 +140,7 @@ class DistancePatternWalk : public RefStream
     explicit DistancePatternWalk(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -191,6 +194,7 @@ class HistoryLoop : public RefStream
     explicit HistoryLoop(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -232,6 +236,7 @@ class AlternatingPermutations : public RefStream
     explicit AlternatingPermutations(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -264,6 +269,7 @@ class ZipfMix : public RefStream
     explicit ZipfMix(const Config &config);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 
@@ -287,6 +293,7 @@ class PaceStream : public RefStream
     PaceStream(std::unique_ptr<RefStream> inner, double instr_per_ref);
 
     bool next(MemRef &ref) override;
+    std::size_t nextBatch(MemRef *buf, std::size_t n) override;
     void reset() override;
     std::string describe() const override;
 

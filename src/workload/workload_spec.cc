@@ -226,6 +226,17 @@ class MixStream : public RefStream
         return false;
     }
 
+    std::size_t
+    nextBatch(MemRef *buf, std::size_t n) override
+    {
+        // Qualified call: the per-slice bookkeeping inlines into one
+        // flat loop instead of a virtual dispatch per reference.
+        std::size_t filled = 0;
+        while (filled < n && MixStream::next(buf[filled]))
+            ++filled;
+        return filled;
+    }
+
     void
     reset() override
     {

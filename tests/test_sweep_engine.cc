@@ -133,6 +133,84 @@ TEST(SweepEngine, ResultsComeBackInSubmissionOrder)
     }
 }
 
+/**
+ * Single-pass mode must be an invisible optimization: every counter
+ * of every cell equals the per-mechanism run, for batches that group
+ * fully (one workload, N mechanisms), batches that cannot group at
+ * all, and batches that group piecewise (workload changes mid-batch,
+ * timed cells interleaved).
+ */
+TEST(SweepEngine, SinglePassMatchesPerMechanismCellForCell)
+{
+    std::vector<std::vector<SweepJob>> batches;
+
+    // The canonical shape: one workload, several mechanisms.
+    std::vector<SweepJob> uniform;
+    for (const char *spec : {"DP,256,D", "RP", "ASP,256,D", "MP,256,D"})
+        uniform.push_back(
+            SweepJob::functional(WorkloadSpec::app("mcf"),
+                                 MechanismSpec::parse(spec), kRefs));
+    batches.push_back(uniform);
+
+    // Piecewise: workload flips mid-batch, a timed cell splits a
+    // group, and a tail cell stands alone.
+    std::vector<SweepJob> piecewise;
+    MechanismSpec dp = MechanismSpec::parse("dp");
+    MechanismSpec rp = MechanismSpec::parse("rp");
+    piecewise.push_back(
+        SweepJob::functional(WorkloadSpec::app("mcf"), dp, kRefs));
+    piecewise.push_back(
+        SweepJob::functional(WorkloadSpec::app("mcf"), rp, kRefs));
+    piecewise.push_back(
+        SweepJob::functional(WorkloadSpec::app("gcc"), dp, kRefs));
+    piecewise.push_back(
+        SweepJob::timed(WorkloadSpec::app("gcc"), dp, kRefs));
+    piecewise.push_back(
+        SweepJob::functional(WorkloadSpec::app("gcc"), rp, kRefs));
+    batches.push_back(piecewise);
+
+    for (const std::vector<SweepJob> &jobs : batches) {
+        SweepEngine engine(2);
+        std::vector<SweepResult> per_mech =
+            engine.run(jobs, PassMode::PerMechanism);
+        std::vector<SweepResult> single_pass =
+            engine.run(jobs, PassMode::SinglePass);
+        ASSERT_EQ(per_mech.size(), jobs.size());
+        ASSERT_EQ(single_pass.size(), jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SimResult &a = per_mech[i].functional;
+            const SimResult &b = single_pass[i].functional;
+            EXPECT_EQ(a.refs, b.refs) << "slot " << i;
+            EXPECT_EQ(a.misses, b.misses) << "slot " << i;
+            EXPECT_EQ(a.pbHits, b.pbHits) << "slot " << i;
+            EXPECT_EQ(a.demandFetches, b.demandFetches) << "slot " << i;
+            EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued)
+                << "slot " << i;
+            EXPECT_EQ(a.prefetchesSuppressed, b.prefetchesSuppressed)
+                << "slot " << i;
+            EXPECT_EQ(a.stateOps, b.stateOps) << "slot " << i;
+            EXPECT_EQ(a.footprintPages, b.footprintPages)
+                << "slot " << i;
+            EXPECT_EQ(per_mech[i].mode, single_pass[i].mode)
+                << "slot " << i;
+            EXPECT_EQ(per_mech[i].mechanism, single_pass[i].mechanism)
+                << "slot " << i;
+            EXPECT_EQ(per_mech[i].workload, single_pass[i].workload)
+                << "slot " << i;
+        }
+    }
+}
+
+TEST(SweepEngine, PassModeNamesRoundTrip)
+{
+    EXPECT_STREQ(passModeName(PassMode::PerMechanism),
+                 "per-mechanism");
+    EXPECT_STREQ(passModeName(PassMode::SinglePass), "single-pass");
+    EXPECT_EQ(parsePassMode("per-mechanism"), PassMode::PerMechanism);
+    EXPECT_EQ(parsePassMode("single-pass"), PassMode::SinglePass);
+    EXPECT_THROW(parsePassMode("both"), std::invalid_argument);
+}
+
 TEST(SweepEngine, ZeroRefJobThrowsFromWorker)
 {
     MechanismSpec dp = MechanismSpec::parse("dp");

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <stdexcept>
 
 #include "trace/adaptors.hh"
 #include "trace/ref_stream.hh"
@@ -284,6 +285,192 @@ TEST_F(SampleTraceTest, WriterRoundTripReproducesCommittedBytes)
     }
     EXPECT_EQ(fileBytes(rewritten), fileBytes(samplePath()));
     std::remove(rewritten.c_str());
+}
+
+/**
+ * The on-disk header is an explicit little-endian byte layout, not a
+ * host-endian struct image: bytes 0-3 magic "TPFT", 4-7 version as a
+ * LE u32, 8-15 record count as a LE u64.  This is what makes traces
+ * portable across hosts, so it is pinned byte-by-byte.
+ */
+TEST_F(TraceFileTest, HeaderBytesAreExplicitLittleEndian)
+{
+    {
+        TraceWriter writer(_path);
+        for (int i = 0; i < 300; ++i) // count >= 256 exercises byte 9
+            writer.write(ref(4096u * (i + 1)));
+    }
+    std::FILE *f = std::fopen(_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    unsigned char hdr[kTraceHeaderBytes];
+    ASSERT_EQ(std::fread(hdr, 1, sizeof(hdr), f), sizeof(hdr));
+    std::fclose(f);
+    EXPECT_EQ(hdr[0], 'T');
+    EXPECT_EQ(hdr[1], 'P');
+    EXPECT_EQ(hdr[2], 'F');
+    EXPECT_EQ(hdr[3], 'T');
+    // Version 1 as a little-endian u32.
+    EXPECT_EQ(hdr[4], 1u);
+    EXPECT_EQ(hdr[5], 0u);
+    EXPECT_EQ(hdr[6], 0u);
+    EXPECT_EQ(hdr[7], 0u);
+    // Record count 300 = 0x12c as a little-endian u64.
+    EXPECT_EQ(hdr[8], 0x2cu);
+    EXPECT_EQ(hdr[9], 0x01u);
+    for (int i = 10; i < 16; ++i)
+        EXPECT_EQ(hdr[i], 0u) << "header byte " << i;
+}
+
+/**
+ * A dump onto a full disk must die naming the path, not leave a
+ * truncated trace behind a valid-looking header.  /dev/full fails
+ * every flush, so the error surfaces at close() at the latest.
+ */
+TEST_F(TraceFileTest, WriteErrorIsFatalAndNamesThePath)
+{
+    std::FILE *probe = std::fopen("/dev/full", "wb");
+    if (!probe)
+        GTEST_SKIP() << "/dev/full not available on this host";
+    std::fclose(probe);
+    EXPECT_EXIT(
+        {
+            TraceWriter writer("/dev/full");
+            for (int i = 0; i < 100000; ++i)
+                writer.write(ref(4096u * (i + 1)));
+            writer.close();
+        },
+        ::testing::ExitedWithCode(1), "/dev/full");
+}
+
+TEST_F(TraceFileTest, ResetAfterPartialReadRewindsDeltaState)
+{
+    std::vector<MemRef> refs = {
+        ref(1ull << 40, 0x1000, false, 0),
+        ref(4096, 0x2000, true, 10),
+        ref(1ull << 33, 0x3000, false, 20),
+        ref(8192, 0x1000, true, 30),
+    };
+    {
+        TraceWriter writer(_path);
+        for (const MemRef &r : refs)
+            writer.write(r);
+    }
+    TraceReader reader(_path);
+    // Stop mid-stream: the reader's delta state (_prev) and progress
+    // counter now sit at record 2.
+    MemRef r;
+    ASSERT_TRUE(reader.next(r));
+    ASSERT_TRUE(reader.next(r));
+    reader.reset();
+    // A rewound reader must replay from scratch; stale delta state
+    // would corrupt the very first record.
+    EXPECT_EQ(collect(reader), refs);
+}
+
+TEST_F(TraceFileTest, MalformedVarintThrowsUnderThrowPolicy)
+{
+    {
+        TraceWriter writer(_path);
+        writer.write(ref(4096));
+    }
+    {
+        // Append a record whose varint never terminates (11 bytes of
+        // 0xff exceeds the 64-bit continuation limit) and patch the
+        // header count so the reader expects it.
+        std::FILE *f = std::fopen(_path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        std::fputc(0x00, f); // flags byte
+        for (int i = 0; i < 12; ++i)
+            std::fputc(0xff, f);
+        std::fseek(f, 8, SEEK_SET);
+        std::fputc(2, f); // LE count low byte: now 2 records
+        std::fclose(f);
+    }
+    TraceReader reader(_path, TraceReader::ErrorPolicy::Throw);
+    MemRef r;
+    EXPECT_TRUE(reader.next(r));
+    EXPECT_THROW(reader.next(r), std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, TruncatedRecordThrowsUnderThrowPolicy)
+{
+    {
+        TraceWriter writer(_path);
+        writer.write(ref(4096));
+        writer.write(ref(1ull << 44)); // multi-byte varint delta
+    }
+    {
+        // Chop the tail of the last record; the header still promises
+        // two records.
+        std::FILE *f = std::fopen(_path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::string bytes;
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            bytes.push_back(static_cast<char>(c));
+        std::fclose(f);
+        ASSERT_GT(bytes.size(), kTraceHeaderBytes + 4);
+        f = std::fopen(_path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(bytes.data(), 1, bytes.size() - 2, f);
+        std::fclose(f);
+    }
+    TraceReader reader(_path, TraceReader::ErrorPolicy::Throw);
+    MemRef r;
+    EXPECT_TRUE(reader.next(r));
+    EXPECT_THROW(reader.next(r), std::invalid_argument);
+}
+
+TEST_F(TraceFileTest, NextBatchMatchesNextAndInterleaves)
+{
+    std::vector<MemRef> refs;
+    for (int i = 0; i < 500; ++i) {
+        // Mixed deltas, directions, flags and icount gaps so every
+        // varint width shows up.
+        Addr page = (i % 7 == 0) ? (1ull << 35) + i * 4096u
+                                 : 4096u * ((i * 37) % 97);
+        refs.push_back(ref(page + i, 0x400000 + (i % 3) * 8, i % 2,
+                           static_cast<std::uint64_t>(i) * 5));
+    }
+    {
+        TraceWriter writer(_path);
+        for (const MemRef &r : refs)
+            writer.write(r);
+    }
+    // Pure batch drain, at several batch sizes.
+    for (std::size_t batch : {1u, 3u, 7u, 64u}) {
+        TraceReader reader(_path);
+        std::vector<MemRef> out;
+        std::vector<MemRef> buf(batch);
+        std::size_t got;
+        while ((got = reader.nextBatch(buf.data(), batch)) > 0) {
+            out.insert(out.end(), buf.begin(),
+                       buf.begin() + static_cast<std::ptrdiff_t>(got));
+            if (got < batch)
+                break;
+        }
+        EXPECT_EQ(out, refs) << "batch size " << batch;
+    }
+    // next() and nextBatch() interleaved mid-stream are equivalent.
+    TraceReader reader(_path);
+    std::vector<MemRef> out;
+    MemRef one;
+    std::vector<MemRef> buf(13);
+    for (;;) {
+        if (out.size() % 2 == 0) {
+            if (!reader.next(one))
+                break;
+            out.push_back(one);
+        } else {
+            std::size_t got = reader.nextBatch(buf.data(), buf.size());
+            out.insert(out.end(), buf.begin(),
+                       buf.begin() + static_cast<std::ptrdiff_t>(got));
+            if (got < buf.size())
+                break;
+        }
+    }
+    EXPECT_EQ(out, refs);
 }
 
 TEST_F(TraceFileTest, MissingFileIsFatal)

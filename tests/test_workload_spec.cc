@@ -14,6 +14,7 @@
 #include "run/sweep_engine.hh"
 #include "sim/experiment.hh"
 #include "trace/trace_file.hh"
+#include "workload/app_registry.hh"
 #include "workload/workload_spec.hh"
 
 #ifndef TLBPF_TEST_DATA_DIR
@@ -475,6 +476,73 @@ TEST(WorkloadSpecCli, ParseWorkloadOrDieExitsOnSyntaxError)
     EXPECT_EQ(parseWorkloadOrDie("mcf"), WorkloadSpec::app("mcf"));
     EXPECT_EXIT((void)parseWorkloadOrDie("mix:@100k"),
                 ::testing::ExitedWithCode(1), "malformed workload");
+}
+
+/**
+ * nextBatch() must be observationally identical to a next() loop on
+ * every stream the workload layer can build: all 56 registered app
+ * models (which between them exercise every synthetic generator, the
+ * adaptors and the pacing wrapper), a mix, and a trace replay.
+ */
+TEST(StreamBatching, NextBatchMatchesNextOnEveryWorkloadShape)
+{
+    constexpr std::uint64_t kRefs = 2000;
+    std::vector<std::string> specs;
+    for (const AppModel &app : appRegistry())
+        specs.push_back(app.name);
+    specs.push_back("mix:mcf+gcc@500");
+    specs.push_back("trace:" + kSampleTrace);
+
+    for (const std::string &text : specs) {
+        WorkloadSpec spec = WorkloadSpec::parse(text);
+        auto via_next = spec.build(kRefs);
+        std::vector<MemRef> expected;
+        MemRef r;
+        while (via_next->next(r))
+            expected.push_back(r);
+
+        for (std::size_t batch : {1u, 7u, 64u}) {
+            auto via_batch = spec.build(kRefs);
+            std::vector<MemRef> got_refs;
+            std::vector<MemRef> buf(batch);
+            std::size_t got;
+            while ((got = via_batch->nextBatch(buf.data(), batch)) >
+                   0) {
+                got_refs.insert(
+                    got_refs.end(), buf.begin(),
+                    buf.begin() + static_cast<std::ptrdiff_t>(got));
+                if (got < batch)
+                    break;
+            }
+            ASSERT_EQ(got_refs.size(), expected.size())
+                << text << " batch " << batch;
+            EXPECT_TRUE(got_refs == expected)
+                << text << " batch " << batch
+                << ": batched refs diverge from next() refs";
+        }
+
+        // Mixing the two call styles mid-stream is equally exact.
+        auto mixed = spec.build(kRefs);
+        std::vector<MemRef> got_refs;
+        std::vector<MemRef> buf(13);
+        for (;;) {
+            if (got_refs.size() % 2 == 0) {
+                if (!mixed->next(r))
+                    break;
+                got_refs.push_back(r);
+            } else {
+                std::size_t got =
+                    mixed->nextBatch(buf.data(), buf.size());
+                got_refs.insert(
+                    got_refs.end(), buf.begin(),
+                    buf.begin() + static_cast<std::ptrdiff_t>(got));
+                if (got < buf.size())
+                    break;
+            }
+        }
+        EXPECT_TRUE(got_refs == expected)
+            << text << ": interleaved next/nextBatch diverges";
+    }
 }
 
 } // namespace
