@@ -53,6 +53,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -212,6 +213,24 @@ rejectRemovedSchemeFlags(const CliArgs &args)
                 removedSchemeSpecString(args), "'");
 }
 
+/**
+ * Parse a count-valued flag with a hard range, shared by every bench
+ * so the error always names the flag.  This is the one gate between
+ * the int64 the CLI parses and the unsigned the options struct
+ * carries: without it, garbage like `--refs -5` or `--threads -3`
+ * would wrap through the unsigned cast into a huge positive count.
+ */
+inline std::int64_t
+boundedCountFlag(const CliArgs &args, const char *flag,
+                 std::int64_t min, std::int64_t max, std::int64_t dflt)
+{
+    std::int64_t value = args.getInt(flag, dflt);
+    if (value < min || value > max)
+        tlbpf_fatal("--", flag, " must be an integer in [", min, ", ",
+                    max, "], got ", value);
+    return value;
+}
+
 inline BenchOptions
 parseBenchOptions(int argc, const char *const *argv,
                   std::vector<std::string> extra_known = {})
@@ -226,9 +245,9 @@ parseBenchOptions(int argc, const char *const *argv,
     if (args.has("list-mechanisms"))
         listMechanismsAndExit();
     BenchOptions options;
-    options.refs = static_cast<std::uint64_t>(
-        args.getInt("refs", static_cast<std::int64_t>(
-                                kDefaultBenchRefs)));
+    options.refs = static_cast<std::uint64_t>(boundedCountFlag(
+        args, "refs", 1, std::numeric_limits<std::int64_t>::max(),
+        static_cast<std::int64_t>(kDefaultBenchRefs)));
     options.csvPath = args.get("csv");
     options.jsonPath = args.get("json");
     if (args.has("apps"))
@@ -239,17 +258,15 @@ parseBenchOptions(int argc, const char *const *argv,
         options.workloads.push_back(parseWorkloadOrDie("app:" + name));
     if (args.has("mech"))
         options.mechs = parseMechanismListOrDie(args.get("mech"));
-    std::int64_t threads = args.getInt(
-        "threads",
+    // --threads 0 is the documented "use hardware concurrency"
+    // spelling; anything below that is rejected, not wrapped.
+    std::int64_t threads = boundedCountFlag(
+        args, "threads", 0, 4096,
         static_cast<std::int64_t>(ThreadPool::defaultThreadCount()));
-    if (threads < 0 || threads > 4096)
-        tlbpf_fatal("--threads must be in [0, 4096], got ", threads);
     options.threads = threads ? static_cast<unsigned>(threads)
                               : ThreadPool::defaultThreadCount();
-    std::int64_t shards = args.getInt("shards", 1);
-    if (shards < 1 || shards > 4096)
-        tlbpf_fatal("--shards must be in [1, 4096], got ", shards);
-    options.shards = static_cast<std::uint32_t>(shards);
+    options.shards = static_cast<std::uint32_t>(
+        boundedCountFlag(args, "shards", 1, 4096, 1));
     if (args.has("shard-warmup")) {
         try {
             options.shardWarmup =
@@ -381,8 +398,9 @@ recordSinks(const BenchOptions &options)
  * --shards map/reduce (each functional cell fans out into
  * options.shards merged shard jobs, warmed per --shard-warmup), and
  * converting a malformed-job exception into the clean fatal exit the
- * bench binaries document (reachable via --refs 0, an unknown app, or
- * a bad trace path).  Returns one result per entry of @p jobs.
+ * bench binaries document (reachable via an unknown app or a bad
+ * trace path; --refs 0 is already rejected at the flag).  Returns
+ * one result per entry of @p jobs.
  */
 inline std::vector<SweepResult>
 runBatch(const BenchOptions &options, const std::vector<SweepJob> &jobs)

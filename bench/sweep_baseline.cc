@@ -38,6 +38,21 @@
  * single-cell inner-loop throughput as refs_per_sec, so hot-loop
  * regressions are visible independently of engine overhead.
  *
+ * A fifth phase stresses the work-stealing scheduler with the
+ * cost-skew it exists for: a batch mixing 8-shard checkpoint chains
+ * (each ~a full cell of work in one task) with a crowd of cells at
+ * 1/16th the budget, run on a --threads-worker engine.  The pool's
+ * telemetry lands in BENCH_sweep.json (steal_events,
+ * worker_busy_fraction_min/max, lpt_imbalance) so scheduler payoff —
+ * and regression — is visible in the committed perf trajectory.
+ *
+ * Because the committed record is produced in a 1-core container
+ * where parallel speedup is unmeasurable, the baseline also times
+ * the *same* batch as a raw serial loop (no engine, no pool) vs a
+ * 1-worker engine and records the ratio as
+ * serial_vs_parallel_overhead: a scheduler that starts taxing every
+ * job shows up there even when speedup reads null.
+ *
  * Usage: sweep_baseline [--refs N] [--threads N] [--json out.json]
  *                       [--mech spec,...] [--list-mechanisms]
  */
@@ -87,18 +102,43 @@ main(int argc, char **argv)
             .count();
     };
 
+    // One untimed pass first, so the cold-start cost (page faults,
+    // lazily-built registry state) lands on no timed variant — the
+    // serial/parallel/raw comparisons below are all warm.
+    for (const SweepJob &job : jobs)
+        (void)runSweepJob(job);
+
     std::vector<SweepResult> serial_results;
     std::vector<SweepResult> parallel_results;
     double serial_s = time_run(1, serial_results);
     double parallel_s = time_run(options.threads, parallel_results);
 
+    // The same batch as a raw loop — no engine, no deques, no
+    // telemetry.  The 1-worker engine time over this is the pure
+    // per-job scheduling tax, the regression signal a single-core
+    // host can still measure.
+    std::vector<SweepResult> raw_results(jobs.size());
+    auto raw_start = Clock::now();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        raw_results[i] = runSweepJob(jobs[i]);
+    double raw_s =
+        std::chrono::duration<double>(Clock::now() - raw_start)
+            .count();
+    double scheduler_overhead = serial_s / raw_s;
+
     // The engine's contract, spot-checked on every baseline run.
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         const SimResult &a = serial_results[i].functional;
         const SimResult &b = parallel_results[i].functional;
+        const SimResult &c = raw_results[i].functional;
         if (a.misses != b.misses || a.pbHits != b.pbHits ||
             a.prefetchesIssued != b.prefetchesIssued)
             tlbpf_fatal("parallel run diverged from serial at cell ",
+                        i);
+        if (a.misses != c.misses || a.pbHits != c.pbHits ||
+            a.prefetchesIssued != c.prefetchesIssued)
+            tlbpf_fatal("engine run diverged from the raw loop at "
+                        "cell ",
                         i);
     }
 
@@ -225,6 +265,56 @@ main(int argc, char **argv)
     double refs_per_sec =
         static_cast<double>(options.refs) / unsharded_s;
 
+    // Skew-stress the work-stealing scheduler: two full-budget cells
+    // expanded into 8-shard checkpoint chains (each chain is one
+    // ~full-cell task) interleaved with twelve cells at 1/16th the
+    // budget — the 10-50x cost spread the per-worker deques + LPT
+    // seeding exist for.  Runs on the requested --threads so the
+    // multi-core CI runs record real steal traffic; the telemetry
+    // fields are well-defined (and steal_events simply 0) on one
+    // worker too.
+    const char *const kCheapApps[] = {"gcc",     "mcf",    "swim",
+                                      "galgel",  "ammp",   "applu",
+                                      "apsi",    "lucas",  "mgrid",
+                                      "wupwise", "vortex", "twolf"};
+    std::uint64_t cheap_refs =
+        std::max<std::uint64_t>(options.refs / 16, 1);
+    // Hand-built plan: only the heavy cells fan out (expandShards
+    // would shard the cheap ones too), so the batch really is chains
+    // next to trivial singles.
+    ShardPlan skew_plan;
+    std::size_t cheap_i = 0;
+    for (const char *heavy : {"mcf", "gcc"}) {
+        for (std::uint32_t k = 0; k < 8; ++k)
+            skew_plan.jobs.push_back(SweepJob::functional(
+                WorkloadSpec::app(heavy).withShard(k, 8), dp,
+                options.refs));
+        skew_plan.groupSizes.push_back(8);
+        for (int k = 0; k < 6; ++k) {
+            skew_plan.jobs.push_back(SweepJob::functional(
+                WorkloadSpec::app(kCheapApps[cheap_i++ % 12]), dp,
+                cheap_refs));
+            skew_plan.groupSizes.push_back(1);
+        }
+    }
+    SweepEngine skew_engine(options.threads);
+    auto skew_start = Clock::now();
+    std::vector<SweepResult> skew_results =
+        skew_engine.runSharded(skew_plan, ShardWarmup::Checkpoint);
+    double skew_s =
+        std::chrono::duration<double>(Clock::now() - skew_start)
+            .count();
+    const ThreadPool::BatchStats &sched = skew_engine.lastBatchStats();
+    std::vector<SweepResult> skew_serial =
+        SweepEngine(1).runSharded(skew_plan, ShardWarmup::Checkpoint);
+    for (std::size_t i = 0; i < skew_results.size(); ++i)
+        if (skew_results[i].functional.misses !=
+                skew_serial[i].functional.misses ||
+            skew_results[i].functional.pbHits !=
+                skew_serial[i].functional.pbHits)
+            tlbpf_fatal("skewed batch diverged from serial at cell ",
+                        i);
+
     // On a single-core host — or a run pinned to --threads 1 — the
     // serial-vs-parallel comparison only measures scheduling noise;
     // record null so trend tracking never mistakes a ~1.0x "speedup"
@@ -263,18 +353,35 @@ main(int argc, char **argv)
                 "one cell sustains %.2fM refs/sec\n",
                 pass_jobs.size(), single_pass_s, per_mech_s,
                 single_pass_speedup, refs_per_sec / 1e6);
+    std::printf("scheduler: 1-worker engine / raw loop = %.3fx "
+                "per-job overhead\n",
+                scheduler_overhead);
+    std::printf("skewed batch (%zu tasks: 2x 8-shard chains + 12 "
+                "cheap cells, %u worker%s): %.3fs, %llu steals, %llu "
+                "backoffs, busy %.2f..%.2f, lpt imbalance %.3f\n",
+                skew_plan.groupSizes.size(), // each chain is 1 task
+                skew_engine.threads(),
+                skew_engine.threads() == 1 ? "" : "s", skew_s,
+                static_cast<unsigned long long>(sched.stealEvents()),
+                static_cast<unsigned long long>(
+                    sched.backoffEvents()),
+                sched.busyFractionMin(), sched.busyFractionMax(),
+                sched.lptImbalance);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
                  "hardware_concurrency", "serial_seconds",
                  "parallel_seconds", "serial_cells_per_sec",
                  "parallel_cells_per_sec", "speedup", "reliable",
-                 "shard_fanout", "shard_unsharded_seconds",
-                 "shard_replay_seconds", "shard_checkpoint_seconds",
-                 "shard_overhead_replay", "shard_overhead",
-                 "registry_builds_per_sec", "refs_per_sec",
-                 "per_mechanism_seconds", "single_pass_seconds",
-                 "single_pass_speedup"});
+                 "serial_vs_parallel_overhead", "shard_fanout",
+                 "shard_unsharded_seconds", "shard_replay_seconds",
+                 "shard_checkpoint_seconds", "shard_overhead_replay",
+                 "shard_overhead", "registry_builds_per_sec",
+                 "refs_per_sec", "per_mechanism_seconds",
+                 "single_pass_seconds", "single_pass_speedup",
+                 "skew_seconds", "steal_events", "backoff_events",
+                 "worker_busy_fraction_min",
+                 "worker_busy_fraction_max", "lpt_imbalance"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -286,6 +393,7 @@ main(int argc, char **argv)
               reliable ? TablePrinter::num(serial_s / parallel_s, 3)
                        : std::string("null"),
               reliable ? "true" : "false",
+              TablePrinter::num(scheduler_overhead, 3),
               std::to_string(kShardFanout),
               TablePrinter::num(unsharded_s, 4),
               TablePrinter::num(replay_s, 4),
@@ -296,7 +404,13 @@ main(int argc, char **argv)
               TablePrinter::num(refs_per_sec, 1),
               TablePrinter::num(per_mech_s, 4),
               TablePrinter::num(single_pass_s, 4),
-              TablePrinter::num(single_pass_speedup, 3)});
+              TablePrinter::num(single_pass_speedup, 3),
+              TablePrinter::num(skew_s, 4),
+              std::to_string(sched.stealEvents()),
+              std::to_string(sched.backoffEvents()),
+              TablePrinter::num(sched.busyFractionMin(), 3),
+              TablePrinter::num(sched.busyFractionMax(), 3),
+              TablePrinter::num(sched.lptImbalance, 3)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

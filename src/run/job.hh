@@ -15,6 +15,12 @@
  * simulator state when it runs; nothing is shared mutably between
  * cells.  A cell is therefore fully addressed by the string pair
  * (WorkloadSpec::label(), MechanismSpec::label()).
+ *
+ * Cells are embarrassingly parallel but wildly uneven in cost — a
+ * checkpoint-chained shard task or a single-pass multi-mechanism
+ * group can be 10–50x a plain functional cell — so a job also knows
+ * its own rough relative cost (costWeight()), which the engine feeds
+ * to the thread pool's weighted work-stealing scheduler.
  */
 
 #ifndef TLBPF_RUN_JOB_HH
@@ -75,6 +81,32 @@ struct SweepJob
         job.timing = timing;
         job.mode = JobMode::Timed;
         return job;
+    }
+
+    /** Rough cost multiplier of the cycle model over functional. */
+    static constexpr std::uint64_t kTimedCostFactor = 2;
+
+    /**
+     * Relative execution-cost estimate of this cell, in "references
+     * simulated" units, for the pool's weighted scheduler.  A plain
+     * cell costs its reference budget; a `spec#k/N` shard costs its
+     * stream position at window end (replay warm-up simulates the
+     * whole prefix [0, begin) before recording the window); a timed
+     * cell pays the cycle model's constant factor.  Only relative
+     * magnitudes matter — stealing corrects what the estimate gets
+     * wrong — so the estimate stays deliberately crude.
+     */
+    std::uint64_t
+    costWeight() const
+    {
+        if (refs == 0)
+            return 1; // malformed; it throws immediately when run
+        std::uint64_t cost = refs;
+        if (workload.sharded())
+            cost = workload.shardWindow(refs).second;
+        if (mode == JobMode::Timed)
+            cost *= kTimedCostFactor;
+        return cost ? cost : 1;
     }
 };
 

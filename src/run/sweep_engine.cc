@@ -287,11 +287,27 @@ shardTaskCount(const ShardPlan &plan, ShardWarmup warmup)
     return buildShardUnits(plan).size();
 }
 
+namespace
+{
+
+/** Per-job scheduler weights for a plain (one task = one job) run. */
+std::vector<std::uint64_t>
+jobWeights(const std::vector<SweepJob> &jobs)
+{
+    std::vector<std::uint64_t> weights;
+    weights.reserve(jobs.size());
+    for (const SweepJob &job : jobs)
+        weights.push_back(job.costWeight());
+    return weights;
+}
+
+} // namespace
+
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
     std::vector<SweepResult> results(jobs.size());
-    _pool.parallelFor(jobs.size(), [&](std::size_t i) {
+    _pool.parallelForWeighted(jobWeights(jobs), [&](std::size_t i) {
         results[i] = runSweepJob(jobs[i]);
     });
     return results;
@@ -304,8 +320,14 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode)
         return run(jobs);
 
     std::vector<PassUnit> units = buildPassUnits(jobs);
+    // A single-pass group drives its group-width simulators through
+    // one stream: cost ~ stream length x width.
+    std::vector<std::uint64_t> weights;
+    weights.reserve(units.size());
+    for (const PassUnit &unit : units)
+        weights.push_back(jobs[unit.start].costWeight() * unit.count);
     std::vector<SweepResult> results(jobs.size());
-    _pool.parallelFor(units.size(), [&](std::size_t u) {
+    _pool.parallelForWeighted(weights, [&](std::size_t u) {
         const PassUnit &unit = units[u];
         if (unit.count == 1) {
             results[unit.start] = runSweepJob(jobs[unit.start]);
@@ -345,8 +367,21 @@ SweepEngine::runSharded(const ShardPlan &plan, ShardWarmup warmup)
         return mergeShardResults(plan, run(plan.jobs));
 
     std::vector<ShardUnit> units = buildShardUnits(plan);
+    // A checkpoint chain simulates its cell's whole stream exactly
+    // once, so its cost is the cell's full budget — typically 10-50x
+    // the replay singles and trivial cells it shares a batch with;
+    // the weight is what keeps such chains from landing on one
+    // worker's deque.
+    std::vector<std::uint64_t> weights;
+    weights.reserve(units.size());
+    for (const ShardUnit &unit : units) {
+        const SweepJob &first = plan.jobs[unit.start];
+        weights.push_back(unit.count > 1 ? std::max<std::uint64_t>(
+                                               first.refs, 1)
+                                         : first.costWeight());
+    }
     std::vector<SweepResult> results(plan.jobs.size());
-    _pool.parallelFor(units.size(), [&](std::size_t i) {
+    _pool.parallelForWeighted(weights, [&](std::size_t i) {
         const ShardUnit &unit = units[i];
         if (unit.count == 1) {
             results[unit.start] = runSweepJob(plan.jobs[unit.start]);

@@ -7,8 +7,20 @@
  * holds because every job owns its entire simulation state (stream,
  * TLB, buffer, prefetcher, RNG) and writes only to its own result
  * slot; threads share nothing mutable.  `--threads 1` constructs a
- * pool with no workers, so the serial path is literally the old
- * serial loop.
+ * pool with no workers and runs the whole batch inline.
+ *
+ * Scheduling: cells are submitted to the pool's work-stealing
+ * scheduler (per-worker deques, randomized stealing) with a
+ * per-task cost estimate — SweepJob::costWeight() scaled by the
+ * task's shape (a checkpoint chain covers its whole cell once, a
+ * single-pass group multiplies by its width) — so a batch that mixes
+ * 50x shard chains with trivial cells starts from a balanced
+ * longest-processing-time placement and stealing mops up the
+ * estimate's error.  Neither the placement nor any steal
+ * interleaving can change a result byte: workers still write only
+ * their pre-assigned result slots and the lowest-submission-index
+ * exception still wins.  lastBatchStats() exposes the pool's
+ * per-worker utilization telemetry for the most recent batch.
  *
  * A job that cannot run (zero reference budget, unknown application
  * model, unreadable trace file, malformed mix, a sharded timing cell)
@@ -209,6 +221,18 @@ class SweepEngine
 
     /** The underlying pool, for callers with custom cell loops. */
     ThreadPool &pool() { return _pool; }
+
+    /**
+     * Scheduler telemetry of the most recent run()/runSharded()
+     * batch: per-worker job counts and busy time, steal/backoff
+     * events, and the LPT placement imbalance.  Valid until the next
+     * batch starts.
+     */
+    const ThreadPool::BatchStats &
+    lastBatchStats() const
+    {
+        return _pool.lastBatchStats();
+    }
 
   private:
     ThreadPool _pool;

@@ -1,7 +1,75 @@
 #include "util/thread_pool.hh"
 
+#include <algorithm>
+#include <chrono>
+
 namespace tlbpf
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** xorshift64: cheap, stateless-feeling victim randomization. */
+std::uint64_t
+nextRandom(std::uint64_t &state)
+{
+    std::uint64_t x = state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state = x;
+    return x;
+}
+
+} // namespace
+
+std::uint64_t
+ThreadPool::BatchStats::stealEvents() const
+{
+    std::uint64_t total = 0;
+    for (const WorkerStats &w : workers)
+        total += w.steals;
+    return total;
+}
+
+std::uint64_t
+ThreadPool::BatchStats::backoffEvents() const
+{
+    std::uint64_t total = 0;
+    for (const WorkerStats &w : workers)
+        total += w.backoffs;
+    return total;
+}
+
+double
+ThreadPool::BatchStats::busyFractionMin() const
+{
+    if (workers.empty() || seconds <= 0)
+        return 0;
+    double best = 1;
+    for (const WorkerStats &w : workers)
+        best = std::min(best, w.busySeconds / seconds);
+    return best;
+}
+
+double
+ThreadPool::BatchStats::busyFractionMax() const
+{
+    if (workers.empty() || seconds <= 0)
+        return 0;
+    double best = 0;
+    for (const WorkerStats &w : workers)
+        best = std::max(best, w.busySeconds / seconds);
+    return best;
+}
 
 unsigned
 ThreadPool::defaultThreadCount()
@@ -11,11 +79,14 @@ ThreadPool::defaultThreadCount()
 }
 
 ThreadPool::ThreadPool(unsigned threads)
-    : _threads(threads ? threads : defaultThreadCount())
+    : _threads(threads ? threads : defaultThreadCount()),
+      _slots(_threads)
 {
+    for (unsigned i = 0; i < _threads; ++i)
+        _slots[i].rng = 0x9e3779b97f4a7c15ull * (i + 1) + 1;
     _workers.reserve(_threads - 1);
     for (unsigned i = 1; i < _threads; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+        _workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -29,28 +100,154 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
+/**
+ * Place batch indices into the per-worker deques.
+ *
+ * Uniform batches (no weights) are dealt round-robin, pushed in
+ * descending index order so each owner pops its indices *ascending* —
+ * the cache-friendly order of the old cursor hand-out.
+ *
+ * Weighted batches get the classic longest-processing-time greedy:
+ * indices sorted by descending weight, each assigned to the
+ * currently least-loaded worker.  Each deque is then seeded
+ * lightest-first, so the owner pops heaviest-first (the LPT execution
+ * order) while thieves steal the lightest leftovers from the top —
+ * cheap fill-in work that rebalances the tail without delaying
+ * anyone's big cells.
+ */
 void
-ThreadPool::runIndices(const std::function<void(std::size_t)> &fn)
+ThreadPool::seedDeques(std::size_t n, const std::uint64_t *weights)
 {
-    for (;;) {
-        std::size_t i = _cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= _batchSize)
-            return;
-        try {
-            fn(i);
-        } catch (...) {
-            // Slot i is this invocation's alone; no lock needed.
-            _errors[i] = std::current_exception();
+    if (!weights) {
+        std::size_t per = (n + _threads - 1) / _threads;
+        for (unsigned w = 0; w < _threads; ++w)
+            _slots[w].deque.reset(per);
+        for (std::size_t i = n; i-- > 0;)
+            _slots[i % _threads].deque.push(i);
+        _stats.lptImbalance =
+            n == 0 ? 1.0
+                   : static_cast<double>(per) * _threads /
+                         static_cast<double>(n);
+        return;
+    }
+
+    _order.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        _order[i] = i;
+    std::stable_sort(_order.begin(), _order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return weights[a] > weights[b];
+                     });
+
+    _loads.assign(_threads, 0);
+    for (WorkerSlot &slot : _slots)
+        slot.seed.clear();
+    std::uint64_t total = 0;
+    for (std::size_t i : _order) {
+        unsigned target = 0;
+        for (unsigned w = 1; w < _threads; ++w)
+            if (_loads[w] < _loads[target])
+                target = w;
+        std::uint64_t weight = weights[i] ? weights[i] : 1;
+        _loads[target] += weight;
+        total += weight;
+        _slots[target].seed.push_back(i);
+    }
+    for (WorkerSlot &slot : _slots) {
+        slot.deque.reset(slot.seed.size());
+        for (std::size_t k = slot.seed.size(); k-- > 0;)
+            slot.deque.push(slot.seed[k]);
+    }
+    std::uint64_t max_load =
+        *std::max_element(_loads.begin(), _loads.end());
+    _stats.lptImbalance =
+        total == 0 ? 1.0
+                   : static_cast<double>(max_load) * _threads /
+                         static_cast<double>(total);
+}
+
+void
+ThreadPool::runOne(unsigned self, std::size_t index, bool stolen)
+{
+    WorkerSlot &me = _slots[self];
+    auto start = Clock::now();
+    try {
+        _invoke(_ctx, index);
+    } catch (...) {
+        if (index < me.errorIndex) {
+            me.errorIndex = index;
+            me.error = std::current_exception();
         }
+    }
+    me.busySeconds += secondsSince(start);
+    ++me.jobs;
+    me.steals += stolen;
+    _remaining.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+/** One randomized sweep over every other worker's deque. */
+bool
+ThreadPool::stealOne(unsigned self, std::size_t &index)
+{
+    WorkerSlot &me = _slots[self];
+    unsigned victims = _threads - 1;
+    unsigned start = static_cast<unsigned>(nextRandom(me.rng) % victims);
+    for (unsigned k = 0; k < victims; ++k) {
+        unsigned victim = self + 1 + (start + k) % victims;
+        if (victim >= _threads)
+            victim -= _threads;
+        if (_slots[victim].deque.steal(index))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * The scheduler loop every thread runs for the duration of a batch:
+ * drain the own deque, then steal, then back off exponentially while
+ * other workers still hold in-flight jobs.
+ */
+void
+ThreadPool::schedLoop(unsigned self)
+{
+    WorkerSlot &me = _slots[self];
+    unsigned backoff = 0;
+    std::size_t index;
+    while (_remaining.load(std::memory_order_acquire) != 0) {
+        if (me.deque.pop(index)) {
+            runOne(self, index, false);
+            backoff = 0;
+            continue;
+        }
+        if (_threads > 1 && stealOne(self, index)) {
+            runOne(self, index, true);
+            backoff = 0;
+            continue;
+        }
+        if (_threads == 1)
+            return; // own deque dry and nobody else holds work
+        if (_remaining.load(std::memory_order_acquire) == 0)
+            return;
+        // Every deque is dry but jobs are still running elsewhere
+        // (or a steal race was lost): back off so the straggler's
+        // core is not stolen by a busy-spinning thief.
+        ++me.backoffs;
+        if (backoff < 2) {
+            std::this_thread::yield();
+        } else {
+            unsigned shift = std::min(backoff - 2, 9u);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(1u << shift));
+        }
+        ++backoff;
     }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned self)
 {
     std::uint64_t seen = 0;
     for (;;) {
-        const std::function<void(std::size_t)> *fn = nullptr;
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _wake.wait(lock, [&] {
@@ -59,9 +256,8 @@ ThreadPool::workerLoop()
             if (_stopping)
                 return;
             seen = _generation;
-            fn = _batchFn;
         }
-        runIndices(*fn);
+        schedLoop(self);
         {
             std::lock_guard<std::mutex> lock(_mutex);
             if (--_active == 0)
@@ -71,54 +267,84 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::rethrowFirstError()
+ThreadPool::collectStats(std::size_t n, double seconds)
 {
-    for (std::exception_ptr &error : _errors) {
-        if (error) {
-            std::exception_ptr first = error;
-            _errors.clear();
-            std::rethrow_exception(first);
-        }
+    _stats.jobs = n;
+    _stats.seconds = seconds;
+    _stats.workers.resize(_threads);
+    for (unsigned w = 0; w < _threads; ++w) {
+        _stats.workers[w].jobs = _slots[w].jobs;
+        _stats.workers[w].steals = _slots[w].steals;
+        _stats.workers[w].backoffs = _slots[w].backoffs;
+        _stats.workers[w].busySeconds = _slots[w].busySeconds;
     }
-    _errors.clear();
 }
 
 void
-ThreadPool::parallelFor(std::size_t n,
-                        const std::function<void(std::size_t)> &fn)
+ThreadPool::rethrowLowestIndexError()
 {
-    if (n == 0)
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    unsigned who = 0;
+    for (unsigned w = 0; w < _threads; ++w) {
+        if (_slots[w].errorIndex < best) {
+            best = _slots[w].errorIndex;
+            who = w;
+        }
+    }
+    if (best == std::numeric_limits<std::size_t>::max())
         return;
-    _errors.assign(n, nullptr);
+    std::exception_ptr first = _slots[who].error;
+    for (WorkerSlot &slot : _slots)
+        slot.error = nullptr;
+    std::rethrow_exception(first);
+}
+
+void
+ThreadPool::runBatch(std::size_t n, const std::uint64_t *weights,
+                     BatchThunk invoke, const void *ctx)
+{
+    if (n == 0) {
+        _stats = BatchStats{};
+        _stats.workers.assign(_threads, WorkerStats{});
+        return;
+    }
+    auto start = Clock::now();
+    for (WorkerSlot &slot : _slots) {
+        slot.jobs = 0;
+        slot.steals = 0;
+        slot.backoffs = 0;
+        slot.busySeconds = 0;
+        slot.errorIndex = std::numeric_limits<std::size_t>::max();
+        slot.error = nullptr;
+    }
+    seedDeques(n, weights);
+    _invoke = invoke;
+    _ctx = ctx;
+    _remaining.store(n, std::memory_order_seq_cst);
 
     if (_workers.empty()) {
-        // Serial pool: run inline, no synchronisation at all.
-        _batchSize = n;
-        _cursor.store(0, std::memory_order_relaxed);
-        runIndices(fn);
-        rethrowFirstError();
-        return;
+        // Serial pool: the same deque-driven scheduler, run inline
+        // with no synchronisation — so the per-job scheduling cost a
+        // 1-worker engine pays is exactly what the benches measure
+        // as serial_vs_parallel_overhead.
+        schedLoop(0);
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            _active = static_cast<unsigned>(_workers.size());
+            ++_generation;
+        }
+        _wake.notify_all();
+        schedLoop(0);
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _done.wait(lock, [&] { return _active == 0; });
+        }
     }
-
-    {
-        std::lock_guard<std::mutex> lock(_mutex);
-        _batchSize = n;
-        _batchFn = &fn;
-        _cursor.store(0, std::memory_order_relaxed);
-        _active = static_cast<unsigned>(_workers.size());
-        ++_generation;
-    }
-    _wake.notify_all();
-
-    // The calling thread pulls indices alongside the workers.
-    runIndices(fn);
-
-    {
-        std::unique_lock<std::mutex> lock(_mutex);
-        _done.wait(lock, [&] { return _active == 0; });
-        _batchFn = nullptr;
-    }
-    rethrowFirstError();
+    _invoke = nullptr;
+    _ctx = nullptr;
+    collectStats(n, secondsSince(start));
+    rethrowLowestIndexError();
 }
 
 } // namespace tlbpf

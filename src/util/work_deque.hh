@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A Chase–Lev-style work-stealing deque over job indices.
+ *
+ * One WorkDeque belongs to one worker.  The owner pushes and pops at
+ * the *bottom* (LIFO), thieves steal from the *top* (FIFO), so the
+ * owner and a thief only contend on the very last element.  The
+ * element type is a plain job index (std::size_t): the scheduler's
+ * unit of hand-out is "run batch index i", which keeps the deque
+ * trivially copyable and the steal path a single CAS.
+ *
+ * This is deliberately a *seeded* variant of Chase–Lev, matching how
+ * the thread pool uses it: every element is pushed while the deque is
+ * quiescent (during batch seeding, before the workers are released —
+ * the pool's generation handshake provides the happens-before edge),
+ * and during the batch the owner only pops while thieves only steal.
+ * Because no push ever runs concurrently with a pop or steal, the
+ * ring buffer itself needs no atomics and never grows; only top and
+ * bottom are atomic.  Dropping the concurrent-push case removes the
+ * hardest part of the classic algorithm (buffer growth + the
+ * fence-dependent slot reads that ThreadSanitizer cannot model) while
+ * keeping the owner/thief race handling intact — pop and steal
+ * resolve the one-element race with a seq_cst CAS on top, exactly as
+ * in the original.
+ *
+ * Memory ordering is seq_cst on top/bottom throughout.  The deque
+ * hands out a few thousand indices per batch while each job runs for
+ * micro- to milliseconds, so the cost of seq_cst over the
+ * fence-based weak-memory formulation is unmeasurable here — and the
+ * seq_cst form is exactly representable to ThreadSanitizer, which
+ * the CI TSan job relies on.
+ */
+
+#ifndef TLBPF_UTIL_WORK_DEQUE_HH
+#define TLBPF_UTIL_WORK_DEQUE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** Single-owner, multi-thief deque of job indices (see file docs). */
+class WorkDeque
+{
+  public:
+    /**
+     * Empty the deque and make room for @p capacity elements.  Must
+     * only be called while the deque is quiescent (no concurrent
+     * owner or thief).  Keeps the old ring buffer when it is already
+     * big enough, so a pool reusing deques across batches allocates
+     * only when a batch outgrows every previous one.
+     */
+    void
+    reset(std::size_t capacity)
+    {
+        std::size_t need = 1;
+        while (need < capacity)
+            need <<= 1;
+        if (_ring.size() < need)
+            _ring.resize(need);
+        _mask = _ring.size() - 1;
+        _top.store(0, std::memory_order_relaxed);
+        _bottom.store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * Push one index at the bottom.  Seeding-time only: must not run
+     * concurrently with pop() or steal(), and the total number of
+     * pushes since reset() must not exceed the reset capacity.
+     */
+    void
+    push(std::size_t index)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed);
+        _ring[static_cast<std::size_t>(b) & _mask] = index;
+        _bottom.store(b + 1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Owner-only: pop the most recently pushed remaining index.
+     * Returns false when the deque is empty (including losing the
+     * last-element race to a thief).
+     */
+    bool
+    pop(std::size_t &out)
+    {
+        std::int64_t b = _bottom.load(std::memory_order_relaxed) - 1;
+        _bottom.store(b, std::memory_order_seq_cst);
+        std::int64_t t = _top.load(std::memory_order_seq_cst);
+        if (t > b) {
+            // Already empty; undo the claim.
+            _bottom.store(b + 1, std::memory_order_relaxed);
+            return false;
+        }
+        out = _ring[static_cast<std::size_t>(b) & _mask];
+        if (t == b) {
+            // Last element: race a concurrent thief for it via top.
+            bool won = _top.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst,
+                std::memory_order_relaxed);
+            _bottom.store(b + 1, std::memory_order_relaxed);
+            return won;
+        }
+        return true;
+    }
+
+    /**
+     * Thief: steal the oldest remaining index.  One attempt; returns
+     * false when the deque looks empty or another thief (or the
+     * owner, on the last element) won the race — callers move on to
+     * the next victim rather than spinning here.
+     */
+    bool
+    steal(std::size_t &out)
+    {
+        std::int64_t t = _top.load(std::memory_order_seq_cst);
+        std::int64_t b = _bottom.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return false;
+        out = _ring[static_cast<std::size_t>(t) & _mask];
+        return _top.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed);
+    }
+
+    /** Approximate emptiness (exact only while quiescent). */
+    bool
+    empty() const
+    {
+        return _top.load(std::memory_order_seq_cst) >=
+               _bottom.load(std::memory_order_seq_cst);
+    }
+
+  private:
+    std::atomic<std::int64_t> _top{0};
+    std::atomic<std::int64_t> _bottom{0};
+    // Plain (non-atomic) ring: every write happens before the batch's
+    // readers start (see file docs), so slot accesses never race.
+    std::vector<std::size_t> _ring;
+    std::size_t _mask = 0;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_UTIL_WORK_DEQUE_HH

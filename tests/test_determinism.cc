@@ -313,6 +313,90 @@ TEST(Checkpoint, ShardWarmupModesPreserveCsvBytes)
                 << threads << " threads";
 }
 
+/**
+ * The scheduler-hostile shape: a couple of 8-shard checkpoint chains
+ * (each a long serialized task) surrounded by trivial cells an order
+ * of magnitude cheaper.  The LPT seeding and any steal interleaving
+ * it provokes must not change a single CSV byte across thread counts,
+ * in either warm-up mode.  The plan is hand-built so only the heavy
+ * cells fan out — expandShards() would shard the trivial cells too
+ * and flatten the skew this test exists to cover.
+ */
+TEST(ParallelDeterminism, SkewedShardChainBatchIsThreadCountInvariant)
+{
+    MechanismSpec dp = MechanismSpec::parse("dp");
+    MechanismSpec rp = MechanismSpec::parse("rp");
+    ShardPlan plan;
+    std::vector<SweepJob> display; // one pre-expansion job per group
+    for (const char *heavy : {"mcf", "gcc"}) {
+        SweepJob cell = SweepJob::functional(WorkloadSpec::app(heavy),
+                                             dp, kRefs);
+        display.push_back(cell);
+        plan.groupSizes.push_back(8);
+        for (std::uint32_t k = 0; k < 8; ++k) {
+            SweepJob shard = cell;
+            shard.workload =
+                WorkloadSpec::app(heavy).withShard(k, 8);
+            plan.jobs.push_back(shard);
+        }
+        for (const char *cheap : {"swim", "ammp", "galgel"}) {
+            SweepJob tiny = SweepJob::functional(
+                WorkloadSpec::app(cheap), rp, kRefs / 16);
+            display.push_back(tiny);
+            plan.groupSizes.push_back(1);
+            plan.jobs.push_back(tiny);
+        }
+    }
+    for (ShardWarmup warmup :
+         {ShardWarmup::Replay, ShardWarmup::Checkpoint}) {
+        std::string serial = csvBytes(
+            display, SweepEngine(1).runSharded(plan, warmup));
+        EXPECT_FALSE(serial.empty());
+        for (unsigned threads : {4u, 8u})
+            EXPECT_EQ(serial,
+                      csvBytes(display, SweepEngine(threads)
+                                            .runSharded(plan, warmup)))
+                << shardWarmupName(warmup) << " warm-up at "
+                << threads << " threads";
+    }
+}
+
+/**
+ * The same invariance for the other task-shape extreme: wide
+ * single-pass groups (one stream pass feeding four simulators, so
+ * one task carries 4x a cell's weight) interleaved with trivial
+ * singleton cells and a timed cell that cannot batch.
+ */
+TEST(ParallelDeterminism, SkewedSinglePassBatchIsThreadCountInvariant)
+{
+    std::vector<SweepJob> jobs;
+    for (const char *app : {"mcf", "gcc"}) {
+        for (const char *spec :
+             {"DP,256,D", "RP", "ASP,256,D", "MP,256,D"})
+            jobs.push_back(
+                SweepJob::functional(WorkloadSpec::app(app),
+                                     MechanismSpec::parse(spec),
+                                     kRefs));
+        jobs.push_back(SweepJob::functional(
+            WorkloadSpec::app("swim"), MechanismSpec::parse("rp"),
+            kRefs / 16));
+        jobs.push_back(SweepJob::timed(WorkloadSpec::app("ammp"),
+                                       MechanismSpec::parse("dp"),
+                                       kRefs / 16));
+    }
+    std::string serial =
+        csvBytes(jobs, SweepEngine(1).run(jobs, PassMode::SinglePass));
+    EXPECT_FALSE(serial.empty());
+    // Single-pass must also match the per-mechanism path itself.
+    EXPECT_EQ(serial, csvBytes(jobs, SweepEngine(1).run(
+                                         jobs, PassMode::PerMechanism)));
+    for (unsigned threads : {4u, 8u})
+        EXPECT_EQ(serial,
+                  csvBytes(jobs, SweepEngine(threads)
+                                     .run(jobs, PassMode::SinglePass)))
+            << threads << " threads";
+}
+
 TEST(Determinism, RebuiltAppModelsReplayIdentically)
 {
     // The registry must hand out streams that regenerate the same

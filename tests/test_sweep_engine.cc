@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "run/result_sink.hh"
 #include "run/sweep_engine.hh"
@@ -87,6 +89,110 @@ TEST(ThreadPool, LowestIndexExceptionWins)
     std::atomic<int> ran{0};
     pool.parallelFor(8, [&](std::size_t) { ++ran; });
     EXPECT_EQ(ran, 8);
+}
+
+/**
+ * The skewed batch the work-stealing scheduler exists for: a few
+ * jobs dominate the runtime.  Every worker must execute at least one
+ * of the 64 jobs (LPT seeding gives each deque a share, and the
+ * sleeps keep the batch alive long enough for every worker to wake),
+ * every index must run exactly once, and the telemetry must add up.
+ */
+TEST(ThreadPool, EveryWorkerParticipatesInUnevenWeightedBatch)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kJobs = 64;
+    std::vector<std::uint64_t> weights(kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i)
+        weights[i] = (i % 9 == 0) ? 400 : 25; // ~16x cost skew
+    std::vector<std::atomic<int>> hits(kJobs);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelForWeighted(weights, [&](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(weights[i] * 5));
+        ++hits[i];
+    });
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+
+    const ThreadPool::BatchStats &stats = pool.lastBatchStats();
+    EXPECT_EQ(stats.jobs, kJobs);
+    EXPECT_GT(stats.seconds, 0.0);
+    ASSERT_EQ(stats.workers.size(), 4u);
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t backoffs = 0;
+    for (std::size_t w = 0; w < stats.workers.size(); ++w) {
+        EXPECT_GE(stats.workers[w].jobs, 1u)
+            << "worker " << w << " sat out the batch";
+        EXPECT_LE(stats.workers[w].steals, stats.workers[w].jobs);
+        EXPECT_GE(stats.workers[w].busySeconds, 0.0);
+        executed += stats.workers[w].jobs;
+        steals += stats.workers[w].steals;
+        backoffs += stats.workers[w].backoffs;
+    }
+    EXPECT_EQ(executed, kJobs);
+    EXPECT_EQ(stats.stealEvents(), steals);
+    EXPECT_EQ(stats.backoffEvents(), backoffs);
+    EXPECT_GE(stats.lptImbalance, 1.0);
+    EXPECT_GE(stats.busyFractionMin(), 0.0);
+    EXPECT_GE(stats.busyFractionMax(), stats.busyFractionMin());
+}
+
+TEST(ThreadPool, SerialPoolRunsWeightedBatchInline)
+{
+    ThreadPool pool(1);
+    std::vector<std::uint64_t> weights = {50, 1, 1, 90, 1, 7};
+    std::vector<std::atomic<int>> hits(weights.size());
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelForWeighted(weights,
+                             [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+    const ThreadPool::BatchStats &stats = pool.lastBatchStats();
+    ASSERT_EQ(stats.workers.size(), 1u);
+    EXPECT_EQ(stats.workers[0].jobs, weights.size());
+    EXPECT_EQ(stats.stealEvents(), 0u);
+    EXPECT_DOUBLE_EQ(stats.lptImbalance, 1.0);
+}
+
+/**
+ * Exception determinism under stealing: no matter which worker ends
+ * up with which index (the sleeps plus the cost skew force steals on
+ * multi-core hosts), the exception rethrown to the caller must be
+ * the one from the lowest *submission* index, and every other index
+ * must still have run.
+ */
+TEST(ThreadPool, LowestIndexExceptionWinsUnderWeightedStealing)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kJobs = 64;
+    std::vector<std::uint64_t> weights(kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i)
+        weights[i] = kJobs - i; // descending: LPT scatters indices
+    for (int round = 0; round < 3; ++round) {
+        std::vector<std::atomic<int>> hits(kJobs);
+        for (auto &h : hits)
+            h = 0;
+        try {
+            pool.parallelForWeighted(weights, [&](std::size_t i) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+                ++hits[i];
+                if (i % 7 == 5) // lowest failing index is 5
+                    throw std::runtime_error(
+                        "index " + std::to_string(i));
+            });
+            FAIL() << "expected an exception in round " << round;
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "index 5") << "round " << round;
+        }
+        for (std::size_t i = 0; i < kJobs; ++i)
+            EXPECT_EQ(hits[i], 1)
+                << "index " << i << " skipped after a failure";
+    }
 }
 
 TEST(SweepEngine, EmptyBatch)
@@ -199,6 +305,21 @@ TEST(SweepEngine, SinglePassMatchesPerMechanismCellForCell)
                 << "slot " << i;
         }
     }
+}
+
+TEST(SweepEngine, LastBatchStatsReflectTheMostRecentRun)
+{
+    std::vector<SweepJob> jobs = mixedBatch();
+    SweepEngine engine(2);
+    (void)engine.run(jobs);
+    const ThreadPool::BatchStats &stats = engine.lastBatchStats();
+    EXPECT_EQ(stats.jobs, jobs.size());
+    ASSERT_EQ(stats.workers.size(), 2u);
+    std::uint64_t executed = 0;
+    for (const ThreadPool::WorkerStats &w : stats.workers)
+        executed += w.jobs;
+    EXPECT_EQ(executed, jobs.size());
+    EXPECT_GE(stats.busyFractionMax(), stats.busyFractionMin());
 }
 
 TEST(SweepEngine, PassModeNamesRoundTrip)

@@ -1,13 +1,17 @@
 /**
  * @file
  * Unit tests for the utility substrate: logging, RNG, bit helpers,
- * CLI parsing, CSV quoting and the ASCII table printer.
+ * CLI parsing, CSV quoting, the ASCII table printer, and the
+ * work-stealing deque underneath the thread pool.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "util/bits.hh"
 #include "util/cli.hh"
@@ -15,6 +19,7 @@
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/table_printer.hh"
+#include "util/work_deque.hh"
 
 namespace tlbpf
 {
@@ -280,6 +285,100 @@ TEST(TablePrinter, ArityMismatchPanics)
 {
     TablePrinter table({"a", "b"});
     EXPECT_DEATH(table.addRow({"only-one"}), "row arity");
+}
+
+TEST(WorkDeque, OwnerPopsLifoThievesStealFifo)
+{
+    WorkDeque dq;
+    dq.reset(6);
+    for (std::size_t i = 0; i < 6; ++i)
+        dq.push(i);
+
+    std::size_t out = 0;
+    // Owner works newest-first...
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, 5u);
+    // ...while thieves drain oldest-first from the other end.
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, 0u);
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, 1u);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, 4u);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, 3u);
+    ASSERT_TRUE(dq.steal(out));
+    EXPECT_EQ(out, 2u);
+    EXPECT_TRUE(dq.empty());
+    EXPECT_FALSE(dq.pop(out));
+    EXPECT_FALSE(dq.steal(out));
+}
+
+TEST(WorkDeque, ResetReusesAndClears)
+{
+    WorkDeque dq;
+    dq.reset(3);
+    dq.push(7);
+    dq.push(8);
+    dq.reset(3); // must discard the leftovers
+    EXPECT_TRUE(dq.empty());
+    std::size_t out = 0;
+    EXPECT_FALSE(dq.steal(out));
+    dq.push(9);
+    ASSERT_TRUE(dq.pop(out));
+    EXPECT_EQ(out, 9u);
+}
+
+/**
+ * The race the scheduler lives on: one owner popping while several
+ * thieves steal concurrently.  Every seeded index must be consumed
+ * exactly once — no loss, no duplication — including the
+ * last-element owner-vs-thief CAS race, which thousands of elements
+ * across repeated rounds exercise reliably.
+ */
+TEST(WorkDeque, ConcurrentStealsConsumeEveryIndexExactlyOnce)
+{
+    constexpr std::size_t kElems = 20000;
+    constexpr int kThieves = 3;
+    WorkDeque dq;
+    for (int round = 0; round < 3; ++round) {
+        dq.reset(kElems);
+        for (std::size_t i = 0; i < kElems; ++i)
+            dq.push(i);
+
+        std::vector<std::atomic<std::uint32_t>> hits(kElems);
+        for (auto &h : hits)
+            h = 0;
+        std::atomic<std::size_t> consumed{0};
+
+        std::vector<std::thread> thieves;
+        for (int t = 0; t < kThieves; ++t) {
+            thieves.emplace_back([&] {
+                std::size_t out = 0;
+                while (consumed.load() < kElems) {
+                    if (dq.steal(out)) {
+                        ++hits[out];
+                        ++consumed;
+                    } else {
+                        std::this_thread::yield();
+                    }
+                }
+            });
+        }
+        std::size_t out = 0;
+        while (dq.pop(out)) {
+            ++hits[out];
+            ++consumed;
+        }
+        for (std::thread &t : thieves)
+            t.join();
+
+        EXPECT_EQ(consumed.load(), kElems) << "round " << round;
+        for (std::size_t i = 0; i < kElems; ++i)
+            ASSERT_EQ(hits[i].load(), 1u)
+                << "index " << i << " in round " << round;
+        EXPECT_TRUE(dq.empty());
+    }
 }
 
 } // namespace
