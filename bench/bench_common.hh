@@ -463,32 +463,27 @@ requireUnshardedWorkloads(const BenchOptions &options,
 }
 
 /**
- * Print one figure-style "bar group" row per workload: the full
- * workload × spec grid runs as one engine batch, the table shows
- * accuracy per (workload, spec) cell, and --csv/--json receive
- * long-format (workload, mechanism, accuracy, miss_rate) records.
+ * Render a completed workload × spec accuracy grid: the table shows
+ * accuracy per (workload, spec) cell, and @p records (if non-empty)
+ * receives long-format (workload, mechanism, accuracy, miss_rate)
+ * rows.  @p results is workload-major (the submission order every
+ * grid batch uses).  Shared by the figure benches and tlbpf-client,
+ * which is what makes the client's --csv/--json output byte-identical
+ * to the direct CLI path.
  */
 inline void
-printAccuracyFigure(const std::string &caption,
-                    const std::vector<WorkloadSpec> &workloads,
-                    const std::vector<MechanismSpec> &specs,
-                    const BenchOptions &options)
+renderAccuracyGrid(const std::string &caption,
+                   const std::vector<WorkloadSpec> &workloads,
+                   const std::vector<MechanismSpec> &specs,
+                   const std::vector<SweepResult> &results,
+                   MultiSink &records)
 {
-    std::vector<SweepJob> jobs;
-    jobs.reserve(workloads.size() * specs.size());
-    for (const WorkloadSpec &workload : workloads)
-        for (const MechanismSpec &spec : specs)
-            jobs.push_back(SweepJob::functional(workload, spec,
-                                                options.refs));
-    std::vector<SweepResult> results = runBatch(options, jobs);
-
     std::vector<std::string> header = {"workload"};
     for (const MechanismSpec &spec : specs)
         header.push_back(spec.label());
     TableSink table(caption);
     table.header(header);
 
-    MultiSink records = recordSinks(options);
     if (!records.empty())
         records.header({"workload", "mechanism", "accuracy",
                         "miss_rate"});
@@ -508,6 +503,30 @@ printAccuracyFigure(const std::string &caption,
     }
     table.finish();
     records.finish();
+}
+
+/**
+ * Print one figure-style "bar group" row per workload: the full
+ * workload × spec grid runs as one engine batch, the table shows
+ * accuracy per (workload, spec) cell, and --csv/--json receive
+ * long-format (workload, mechanism, accuracy, miss_rate) records.
+ */
+inline void
+printAccuracyFigure(const std::string &caption,
+                    const std::vector<WorkloadSpec> &workloads,
+                    const std::vector<MechanismSpec> &specs,
+                    const BenchOptions &options)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(workloads.size() * specs.size());
+    for (const WorkloadSpec &workload : workloads)
+        for (const MechanismSpec &spec : specs)
+            jobs.push_back(SweepJob::functional(workload, spec,
+                                                options.refs));
+    std::vector<SweepResult> results = runBatch(options, jobs);
+
+    MultiSink records = recordSinks(options);
+    renderAccuracyGrid(caption, workloads, specs, results, records);
 }
 
 } // namespace tlbpf::bench

@@ -46,6 +46,15 @@
  * worker_busy_fraction_min/max, lpt_imbalance) so scheduler payoff —
  * and regression — is visible in the committed perf trajectory.
  *
+ * A sixth phase round-trips the functional grid through an
+ * in-process tlbpf-server (loopback TCP, ephemeral port): a cold
+ * submission that simulates every cell (service_cells_per_sec — the
+ * protocol + engine path end to end) and an identical resubmission
+ * that must be served entirely from the result cache
+ * (cache_hit_cells_per_sec; re-simulating even one cell is fatal).
+ * The server's lifetime hit fraction lands as cache_hit_rate, so
+ * both the wire overhead and the cache's payoff are tracked.
+ *
  * Because the committed record is produced in a 1-core container
  * where parallel speedup is unmeasurable, the baseline also times
  * the *same* batch as a raw serial loop (no engine, no pool) vs a
@@ -59,8 +68,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_common.hh"
+#include "service/client.hh"
+#include "service/server.hh"
 #include "trace/trace_file.hh"
 
 int
@@ -315,6 +327,67 @@ main(int argc, char **argv)
             tlbpf_fatal("skewed batch diverged from serial at cell ",
                         i);
 
+    // The sweep service round trip: the functional grid submitted to
+    // an in-process server over loopback TCP, cold (every cell
+    // simulated, so the number is protocol + engine end to end) and
+    // hot (the identical resubmission, answered purely from the
+    // result cache — a single re-simulated cell is a contract
+    // violation, not a slowdown).
+    ServerOptions service_options;
+    service_options.port = 0; // ephemeral: parallel CI runs can't clash
+    service_options.threads = options.threads;
+    SweepServer server(service_options);
+    std::thread serving([&] { server.serve(); });
+    SweepRequest service_request;
+    for (const std::string &app : highMissRateApps())
+        service_request.workloads.push_back("app:" + app);
+    for (const MechanismSpec &spec : functional_mechs)
+        service_request.mechanisms.push_back(spec.canonical());
+    service_request.refs = options.refs;
+    auto service_sweep = [&] {
+        return ServiceClient("127.0.0.1", server.port())
+            .sweep(service_request);
+    };
+    auto service_start = Clock::now();
+    ServiceClient::SweepOutcome service_cold = service_sweep();
+    double service_s =
+        std::chrono::duration<double>(Clock::now() - service_start)
+            .count();
+    auto cache_start = Clock::now();
+    ServiceClient::SweepOutcome service_hot = service_sweep();
+    double cache_hit_s =
+        std::chrono::duration<double>(Clock::now() - cache_start)
+            .count();
+    if (service_cold.done.simulated != service_cold.done.cells)
+        tlbpf_fatal("cold service sweep was unexpectedly cached");
+    if (service_hot.done.simulated != 0)
+        tlbpf_fatal("resubmitted service sweep re-simulated ",
+                    service_hot.done.simulated, " of ",
+                    service_hot.done.cells, " cells");
+    // The wire is exact: the streamed counters must equal the local
+    // engine's (the functional grid is the front of `jobs`).
+    for (std::size_t i = 0; i < service_cold.results.size(); ++i)
+        if (!(service_cold.results[i].functional ==
+              serial_results[i].functional) ||
+            !(service_hot.results[i].functional ==
+              serial_results[i].functional))
+            tlbpf_fatal("service sweep diverged from the local "
+                        "engine at cell ",
+                        i);
+    StatsReply service_stats =
+        ServiceClient("127.0.0.1", server.port()).stats();
+    ServiceClient("127.0.0.1", server.port()).shutdown();
+    serving.join();
+    double service_cells =
+        static_cast<double>(service_cold.done.cells);
+    double service_cps = service_cells / service_s;
+    double cache_hit_cps = service_cells / cache_hit_s;
+    double cache_hit_rate =
+        service_stats.cells
+            ? static_cast<double>(service_stats.cacheHits) /
+                  static_cast<double>(service_stats.cells)
+            : 0.0;
+
     // On a single-core host — or a run pinned to --threads 1 — the
     // serial-vs-parallel comparison only measures scheduling noise;
     // record null so trend tracking never mistakes a ~1.0x "speedup"
@@ -367,6 +440,11 @@ main(int argc, char **argv)
                     sched.backoffEvents()),
                 sched.busyFractionMin(), sched.busyFractionMax(),
                 sched.lptImbalance);
+    std::printf("service (loopback TCP, %zu cells): cold %.3fs "
+                "(%.1f cells/sec), cached resubmit %.3fs (%.0f "
+                "cells/sec), lifetime hit rate %.2f\n",
+                service_cold.results.size(), service_s, service_cps,
+                cache_hit_s, cache_hit_cps, cache_hit_rate);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
@@ -381,7 +459,9 @@ main(int argc, char **argv)
                  "single_pass_seconds", "single_pass_speedup",
                  "skew_seconds", "steal_events", "backoff_events",
                  "worker_busy_fraction_min",
-                 "worker_busy_fraction_max", "lpt_imbalance"});
+                 "worker_busy_fraction_max", "lpt_imbalance",
+                 "service_cells_per_sec", "cache_hit_cells_per_sec",
+                 "cache_hit_rate"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -410,7 +490,10 @@ main(int argc, char **argv)
               std::to_string(sched.backoffEvents()),
               TablePrinter::num(sched.busyFractionMin(), 3),
               TablePrinter::num(sched.busyFractionMax(), 3),
-              TablePrinter::num(sched.lptImbalance, 3)});
+              TablePrinter::num(sched.lptImbalance, 3),
+              TablePrinter::num(service_cps, 2),
+              TablePrinter::num(cache_hit_cps, 2),
+              TablePrinter::num(cache_hit_rate, 3)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

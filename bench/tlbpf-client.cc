@@ -1,0 +1,179 @@
+/**
+ * @file
+ * tlbpf-client: submit a sweep to a running tlbpf-server and render
+ * the streamed results exactly like the direct CLI path — the table,
+ * --csv and --json output go through the same renderAccuracyGrid()
+ * the figure benches use, and counters cross the wire as exact
+ * integers, so the bytes match a local run of the same grid.
+ *
+ *   tlbpf-client --workload app:gcc,app:apsi --mech DP,RP,ASQ
+ *                [--refs N] [--shards N] [--shard-warmup MODE]
+ *                [--single-pass on|off] [--csv F] [--json F]
+ *                [--caption TEXT] [--host H] [--port P]
+ *                [--connect-retries N]
+ *
+ * Maintenance verbs (mutually exclusive with a sweep):
+ *   --ping       liveness probe (prints "pong")
+ *   --stats      print the server's lifetime counters
+ *   --shutdown   ask the server to exit
+ */
+
+#include <arpa/inet.h>
+#include <cstdio>
+#include <unistd.h>
+
+#include "bench_common.hh"
+#include "service/client.hh"
+
+namespace
+{
+
+using namespace tlbpf;
+
+/** Connect, retrying while the server is still coming up. */
+ServiceClient
+connectOrDie(const std::string &host, std::uint16_t port,
+             std::int64_t retries)
+{
+    for (std::int64_t attempt = 0;; ++attempt) {
+        try {
+            return ServiceClient(host, port);
+        } catch (const TransportError &e) {
+            if (attempt >= retries)
+                tlbpf_fatal(e.what());
+            ::usleep(100 * 1000);
+        }
+    }
+}
+
+void
+printStats(const StatsReply &stats)
+{
+    auto line = [](const char *name, std::uint64_t value) {
+        std::printf("%-20s %llu\n", name,
+                    static_cast<unsigned long long>(value));
+    };
+    line("requests", stats.requests);
+    line("cells", stats.cells);
+    line("cache_hits", stats.cacheHits);
+    line("cache_misses", stats.cacheMisses);
+    line("cache_evictions", stats.cacheEvictions);
+    line("cache_entries", stats.cacheEntries);
+    line("cache_capacity", stats.cacheCapacity);
+    line("checkpoints_stored", stats.checkpointsStored);
+    line("checkpoints_loaded", stats.checkpointsLoaded);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args(argc, argv,
+                 {"host", "port", "connect-retries", "workload",
+                  "app", "mech", "refs", "shards", "shard-warmup",
+                  "single-pass", "csv", "json", "caption", "ping",
+                  "stats", "shutdown"});
+
+    std::string host = args.get("host", "127.0.0.1");
+    sockaddr_in probe{};
+    if (::inet_pton(AF_INET, host.c_str(), &probe.sin_addr) != 1)
+        tlbpf_fatal("--host must be a dotted-quad IPv4 address, "
+                    "got '",
+                    host, "'");
+    std::uint16_t port = static_cast<std::uint16_t>(
+        bench::boundedCountFlag(
+            args, "port", 1, 65535,
+            static_cast<std::int64_t>(kDefaultServicePort)));
+    std::int64_t retries =
+        bench::boundedCountFlag(args, "connect-retries", 0, 10000, 50);
+
+    try {
+        if (args.has("ping")) {
+            connectOrDie(host, port, retries).ping();
+            std::printf("pong\n");
+            return 0;
+        }
+        if (args.has("stats")) {
+            printStats(connectOrDie(host, port, retries).stats());
+            return 0;
+        }
+        if (args.has("shutdown")) {
+            connectOrDie(host, port, retries).shutdown();
+            return 0;
+        }
+
+        // A sweep: the workload x mechanism grid, like the benches.
+        std::vector<std::string> workload_texts =
+            parseStringList(args.get("workload"));
+        for (const std::string &name :
+             parseStringList(args.get("app")))
+            workload_texts.push_back("app:" + name);
+        if (workload_texts.empty())
+            tlbpf_fatal("a sweep needs --workload or --app (or use "
+                        "--ping/--stats/--shutdown)");
+        if (!args.has("mech"))
+            tlbpf_fatal("a sweep needs --mech");
+
+        // Parse locally first: validation errors surface before the
+        // request is sent, with the same messages the benches print.
+        std::vector<WorkloadSpec> workloads;
+        for (const std::string &text : workload_texts)
+            workloads.push_back(parseWorkloadOrDie(text));
+        std::vector<MechanismSpec> specs =
+            parseMechanismListOrDie(args.get("mech"));
+
+        SweepRequest request;
+        for (const WorkloadSpec &workload : workloads)
+            request.workloads.push_back(workload.label());
+        for (const MechanismSpec &spec : specs)
+            request.mechanisms.push_back(spec.canonical());
+        request.refs =
+            static_cast<std::uint64_t>(bench::boundedCountFlag(
+                args, "refs", 1,
+                std::numeric_limits<std::int64_t>::max(),
+                static_cast<std::int64_t>(kDefaultBenchRefs)));
+        request.shards = static_cast<std::uint32_t>(
+            bench::boundedCountFlag(args, "shards", 1, 4096, 1));
+        if (args.has("shard-warmup")) {
+            try {
+                request.shardWarmup =
+                    parseShardWarmup(args.get("shard-warmup"));
+            } catch (const std::invalid_argument &e) {
+                tlbpf_fatal(e.what());
+            }
+        }
+        if (args.has("single-pass")) {
+            std::string value = args.get("single-pass");
+            if (value == "on")
+                request.passMode = PassMode::SinglePass;
+            else if (value == "off")
+                request.passMode = PassMode::PerMechanism;
+            else
+                tlbpf_fatal("--single-pass must be on or off, "
+                            "got '",
+                            value, "'");
+        }
+
+        ServiceClient client = connectOrDie(host, port, retries);
+        ServiceClient::SweepOutcome outcome = client.sweep(request);
+
+        bench::BenchOptions render;
+        render.csvPath = args.get("csv");
+        render.jsonPath = args.get("json");
+        MultiSink records = bench::recordSinks(render);
+        bench::renderAccuracyGrid(
+            args.get("caption", "tlbpf-client sweep"), workloads,
+            specs, outcome.results, records);
+        std::fprintf(
+            stderr,
+            "tlbpf-client: %llu cells (%llu from cache, %llu "
+            "simulated)\n",
+            static_cast<unsigned long long>(outcome.done.cells),
+            static_cast<unsigned long long>(outcome.done.cacheHits),
+            static_cast<unsigned long long>(outcome.done.simulated));
+    } catch (const std::exception &e) {
+        tlbpf_fatal(e.what());
+    }
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * tlbpf-server: the sweep service daemon.  Accepts framed sweep
+ * requests on a loopback TCP port, runs them on a shared SweepEngine
+ * behind a persistent result cache and checkpoint store, and streams
+ * per-cell results back as they complete.  See src/service/server.hh
+ * for the protocol and failure policy.
+ *
+ *   tlbpf-server [--host 127.0.0.1] [--port 7733] [--threads N]
+ *                [--cache-dir DIR] [--cache-capacity N]
+ *
+ * SIGINT/SIGTERM stop the accept loop after the in-flight request
+ * drains; the exit line reports the lifetime counters.
+ */
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "service/server.hh"
+#include "service/store_util.hh"
+
+namespace
+{
+
+tlbpf::SweepServer *g_server = nullptr;
+
+void
+onStopSignal(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace tlbpf;
+
+    CliArgs args(argc, argv,
+                 {"host", "port", "threads", "cache-dir",
+                  "cache-capacity"});
+    ServerOptions options;
+    options.port = static_cast<std::uint16_t>(bench::boundedCountFlag(
+        args, "port", 1, 65535,
+        static_cast<std::int64_t>(kDefaultServicePort)));
+    options.host = args.get("host", "127.0.0.1");
+    sockaddr_in probe{};
+    if (::inet_pton(AF_INET, options.host.c_str(), &probe.sin_addr) !=
+        1)
+        tlbpf_fatal("--host must be a dotted-quad IPv4 address, "
+                    "got '",
+                    options.host, "'");
+    // --threads 0 is the engine's "use hardware concurrency".
+    options.threads = static_cast<unsigned>(
+        bench::boundedCountFlag(args, "threads", 0, 4096, 0));
+    options.cacheCapacity = static_cast<std::size_t>(
+        bench::boundedCountFlag(args, "cache-capacity", 1,
+                                std::int64_t(1) << 20, 4096));
+    options.cacheDir = args.get("cache-dir");
+    if (!options.cacheDir.empty()) {
+        try {
+            ensureDirectory(options.cacheDir);
+        } catch (const std::invalid_argument &e) {
+            tlbpf_fatal("--cache-dir: ", e.what());
+        }
+    }
+
+    try {
+        SweepServer server(options);
+        g_server = &server;
+        // No SA_RESTART: a blocking accept() must return EINTR so
+        // serve() re-checks the stop flag.
+        struct sigaction action
+        {
+        };
+        action.sa_handler = onStopSignal;
+        sigemptyset(&action.sa_mask);
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+
+        std::fprintf(
+            stderr,
+            "tlbpf-server listening on %s:%u (threads=%u, "
+            "cache-capacity=%zu%s%s)\n",
+            options.host.c_str(), server.port(),
+            options.threads ? options.threads
+                            : ThreadPool::defaultThreadCount(),
+            options.cacheCapacity,
+            options.cacheDir.empty() ? "" : ", cache-dir=",
+            options.cacheDir.c_str());
+        server.serve();
+
+        StatsReply stats = server.stats();
+        std::fprintf(
+            stderr,
+            "tlbpf-server exiting: %llu requests, %llu cells "
+            "(%llu cache hits, %llu misses), %llu checkpoints "
+            "stored, %llu loaded\n",
+            static_cast<unsigned long long>(stats.requests),
+            static_cast<unsigned long long>(stats.cells),
+            static_cast<unsigned long long>(stats.cacheHits),
+            static_cast<unsigned long long>(stats.cacheMisses),
+            static_cast<unsigned long long>(stats.checkpointsStored),
+            static_cast<unsigned long long>(stats.checkpointsLoaded));
+        g_server = nullptr;
+    } catch (const std::exception &e) {
+        tlbpf_fatal(e.what());
+    }
+    return 0;
+}

@@ -1,9 +1,69 @@
 #include "run/sweep_engine.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 namespace tlbpf
 {
+
+std::string
+configSignature(const SimConfig &config)
+{
+    std::string sig;
+    sig += "tlb=";
+    sig += std::to_string(config.tlb.entries);
+    sig += "/";
+    sig += std::to_string(config.tlb.assoc);
+    sig += ",pb=";
+    sig += std::to_string(config.pbEntries);
+    sig += ",page=";
+    sig += std::to_string(config.pageBytes);
+    sig += ",allrefs=";
+    sig += config.trainOnAllRefs ? "1" : "0";
+    sig += ",cs=";
+    sig += std::to_string(config.contextSwitchInterval);
+    return sig;
+}
+
+std::string
+cellKey(const SweepJob &job)
+{
+    std::string key = job.workload.label();
+    key += "|";
+    key += job.spec.canonical();
+    key += "|";
+    key += configSignature(job.config);
+    key += "|refs=";
+    key += std::to_string(job.refs);
+    if (job.mode == JobMode::Timed) {
+        char timing[96];
+        std::snprintf(timing, sizeof(timing),
+                      "|timed:cpi=%.17g,miss=%llu,mem=%llu",
+                      job.timing.baseCpi,
+                      static_cast<unsigned long long>(
+                          job.timing.missPenalty),
+                      static_cast<unsigned long long>(
+                          job.timing.memOpCost));
+        key += timing;
+    }
+    return key;
+}
+
+std::string
+checkpointKey(const SweepJob &job, std::uint64_t pos)
+{
+    std::string key = job.workload.base().label();
+    key += "|";
+    key += job.spec.canonical();
+    key += "|";
+    key += configSignature(job.config);
+    key += "|pos=";
+    key += std::to_string(pos);
+    return key;
+}
 
 SweepResult
 runSweepJob(const SweepJob &job)
@@ -72,6 +132,27 @@ expandShards(const std::vector<SweepJob> &jobs, std::uint32_t shards)
     return plan;
 }
 
+namespace
+{
+
+/** Fold one plan group's per-shard windows into its merged result. */
+SweepResult
+foldGroup(const ShardPlan &plan, const std::vector<SweepResult> &results,
+          std::size_t start, std::uint32_t count)
+{
+    if (count == 1)
+        return results[start];
+    SweepResult folded;
+    folded.mode = plan.jobs[start].mode;
+    folded.workload = plan.jobs[start].workload.base().label();
+    folded.mechanism = plan.jobs[start].spec.label();
+    for (std::uint32_t k = 0; k < count; ++k)
+        addCounters(folded.functional, results[start + k].functional);
+    return folded;
+}
+
+} // namespace
+
 std::vector<SweepResult>
 mergeShardResults(const ShardPlan &plan,
                   const std::vector<SweepResult> &results)
@@ -88,18 +169,8 @@ mergeShardResults(const ShardPlan &plan,
             throw std::invalid_argument(
                 "shard merge: plan group sizes exceed the result "
                 "batch");
-        if (count == 1) {
-            merged.push_back(results[i]);
-            ++i;
-            continue;
-        }
-        SweepResult folded;
-        folded.mode = plan.jobs[i].mode;
-        folded.workload = plan.jobs[i].workload.base().label();
-        folded.mechanism = plan.jobs[i].spec.label();
-        for (std::uint32_t k = 0; k < count; ++k, ++i)
-            addCounters(folded.functional, results[i].functional);
-        merged.push_back(std::move(folded));
+        merged.push_back(foldGroup(plan, results, i, count));
+        i += count;
     }
     if (i != results.size())
         throw std::invalid_argument(
@@ -170,15 +241,39 @@ mechanismCheckpointable(const SweepJob &job)
 }
 
 /**
+ * Fast-forward @p stream by @p count references without simulating
+ * them (the references land in a scratch buffer and are dropped).
+ * Used when a persisted checkpoint replaces the prefix *simulation*:
+ * the stream still has to be advanced to the window start.
+ */
+void
+skipRefs(RefStream &stream, std::uint64_t count)
+{
+    std::vector<MemRef> scratch(
+        std::min<std::uint64_t>(count, kSimBatchRefs));
+    while (count > 0) {
+        std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(count, scratch.size()));
+        std::size_t got = stream.nextBatch(scratch.data(), want);
+        if (got == 0)
+            return; // stream shorter than the prefix; window is empty
+        count -= got;
+    }
+}
+
+/**
  * Execute one cell's shards as a checkpoint chain: a single stream
  * pass where shard k's warm-up is the restore of shard k-1's
  * end-of-window snapshot.  Per-shard results are identical to what
  * replay-mode jobs would produce (same labels, same counter windows),
- * so the caller's merge step cannot tell the modes apart.
+ * so the caller's merge step cannot tell the modes apart.  A non-null
+ * @p hook additionally receives every window-boundary state the chain
+ * passes through, so a persistent store warms future explicit-shard
+ * requests for this cell.
  */
 std::vector<SweepResult>
 runShardChain(const std::vector<SweepJob> &jobs, std::size_t start,
-              std::uint32_t count)
+              std::uint32_t count, CheckpointHook *hook)
 {
     const SweepJob &first = jobs[start];
     auto stream = first.workload.base().build(first.refs);
@@ -199,9 +294,12 @@ runShardChain(const std::vector<SweepJob> &jobs, std::size_t start,
         result.workload = job.workload.label();
         result.mechanism = job.spec.label();
         bool last = k + 1 == count;
+        bool want_state = !last || hook;
         result.functional = simulateWindowFrom(
             job.config, job.spec, *stream, k > 0 ? &state : nullptr,
-            end - begin, last ? nullptr : &state);
+            end - begin, want_state ? &state : nullptr);
+        if (hook)
+            hook->store(checkpointKey(job, end), state);
         pos = end;
     }
     return out;
@@ -287,6 +385,62 @@ shardTaskCount(const ShardPlan &plan, ShardWarmup warmup)
     return buildShardUnits(plan).size();
 }
 
+SweepResult
+runSweepJob(const SweepJob &job, CheckpointHook *hook)
+{
+    if (!hook || !job.workload.sharded() ||
+        job.mode != JobMode::Functional || job.refs == 0 ||
+        !mechanismCheckpointable(job))
+        return runSweepJob(job);
+
+    auto [begin, end] = job.workload.shardWindow(job.refs);
+    SweepResult result;
+    result.mode = job.mode;
+    result.workload = job.workload.label();
+    result.mechanism = job.spec.label();
+
+    if (begin > 0) {
+        SimState warm;
+        if (hook->load(checkpointKey(job, begin), warm)) {
+            auto stream = job.workload.base().build(job.refs);
+            try {
+                skipRefs(*stream, begin);
+                SimState end_state;
+                result.functional = simulateWindowFrom(
+                    job.config, job.spec, *stream, &warm, end - begin,
+                    &end_state);
+                hook->store(checkpointKey(job, end), end_state);
+                return result;
+            } catch (const std::invalid_argument &) {
+                // A stale or foreign store entry must never fail the
+                // batch: fall through to the replay path below, which
+                // rebuilds the stream from scratch.
+            }
+        }
+    }
+
+    auto stream = job.workload.base().build(job.refs);
+    SimState end_state;
+    if (begin > 0) {
+        // Replay the prefix once, but bank the warm state it produces
+        // so the *next* request for any shard starting at `begin`
+        // skips this replay entirely.
+        SimState warm;
+        simulateWindowFrom(job.config, job.spec, *stream, nullptr,
+                           begin, &warm);
+        hook->store(checkpointKey(job, begin), warm);
+        result.functional = simulateWindowFrom(
+            job.config, job.spec, *stream, &warm, end - begin,
+            &end_state);
+    } else {
+        result.functional = simulateWindowFrom(
+            job.config, job.spec, *stream, nullptr, end - begin,
+            &end_state);
+    }
+    hook->store(checkpointKey(job, end), end_state);
+    return result;
+}
+
 namespace
 {
 
@@ -301,23 +455,80 @@ jobWeights(const std::vector<SweepJob> &jobs)
     return weights;
 }
 
+/**
+ * Serialized, submission-ordered streaming delivery.  Workers mark
+ * their result slots complete as they finish; whichever worker
+ * advances the frontier emits every consecutive completed result
+ * under the mutex, so callback invocations are ordered, never
+ * concurrent, and see fully-written results (the slot write
+ * happens-before the mutexed completion mark).  A slot whose task
+ * failed is never marked, so delivery stalls just before the failing
+ * index and the batch call's rethrow takes over — exactly the
+ * documented ResultCallback contract.
+ */
+class OrderedEmitter
+{
+  public:
+    OrderedEmitter(const SweepEngine::ResultCallback &cb,
+                   const std::vector<SweepResult> &results)
+        : _cb(cb), _results(results), _done(results.size(), 0)
+    {
+    }
+
+    /** Mark @p count consecutive slots at @p start complete. */
+    void
+    complete(std::size_t start, std::size_t count)
+    {
+        if (!_cb)
+            return;
+        std::lock_guard<std::mutex> lock(_mutex);
+        for (std::size_t k = 0; k < count; ++k)
+            _done[start + k] = 1;
+        while (_frontier < _done.size() && _done[_frontier]) {
+            _cb(_frontier, _results[_frontier]);
+            ++_frontier;
+        }
+    }
+
+  private:
+    const SweepEngine::ResultCallback &_cb;
+    const std::vector<SweepResult> &_results;
+    std::vector<char> _done;
+    std::mutex _mutex;
+    std::size_t _frontier = 0;
+};
+
 } // namespace
 
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs)
 {
-    std::vector<SweepResult> results(jobs.size());
-    _pool.parallelForWeighted(jobWeights(jobs), [&](std::size_t i) {
-        results[i] = runSweepJob(jobs[i]);
-    });
-    return results;
+    return run(jobs, PassMode::PerMechanism, ResultCallback());
 }
 
 std::vector<SweepResult>
 SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode)
 {
-    if (mode == PassMode::PerMechanism)
-        return run(jobs);
+    return run(jobs, mode, ResultCallback());
+}
+
+std::vector<SweepResult>
+SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode,
+                 const ResultCallback &on_result)
+{
+    std::vector<SweepResult> results(jobs.size());
+    OrderedEmitter emitter(on_result, results);
+    CheckpointHook *hook = _checkpointHook;
+
+    if (mode == PassMode::PerMechanism) {
+        _pool.parallelForWeighted(jobWeights(jobs),
+                                  [&](std::size_t i) {
+                                      results[i] =
+                                          runSweepJob(jobs[i], hook);
+                                      emitter.complete(i, 1);
+                                  });
+        return results;
+    }
 
     std::vector<PassUnit> units = buildPassUnits(jobs);
     // A single-pass group drives its group-width simulators through
@@ -326,11 +537,12 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode)
     weights.reserve(units.size());
     for (const PassUnit &unit : units)
         weights.push_back(jobs[unit.start].costWeight() * unit.count);
-    std::vector<SweepResult> results(jobs.size());
     _pool.parallelForWeighted(weights, [&](std::size_t u) {
         const PassUnit &unit = units[u];
         if (unit.count == 1) {
-            results[unit.start] = runSweepJob(jobs[unit.start]);
+            results[unit.start] =
+                runSweepJob(jobs[unit.start], hook);
+            emitter.complete(unit.start, 1);
             return;
         }
         const SweepJob &first = jobs[unit.start];
@@ -349,6 +561,7 @@ SweepEngine::run(const std::vector<SweepJob> &jobs, PassMode mode)
             result.mechanism = job.spec.label();
             result.functional = counters[k];
         }
+        emitter.complete(unit.start, unit.count);
     });
     return results;
 }
@@ -363,8 +576,63 @@ SweepEngine::runSharded(const std::vector<SweepJob> &jobs,
 std::vector<SweepResult>
 SweepEngine::runSharded(const ShardPlan &plan, ShardWarmup warmup)
 {
-    if (warmup == ShardWarmup::Replay)
-        return mergeShardResults(plan, run(plan.jobs));
+    return runSharded(plan, warmup, ResultCallback());
+}
+
+std::vector<SweepResult>
+SweepEngine::runSharded(const ShardPlan &plan, ShardWarmup warmup,
+                        const ResultCallback &on_result)
+{
+    // Group geometry: where each pre-expansion cell's shard run
+    // starts, and which cell each plan job belongs to.
+    std::size_t ngroups = plan.groupSizes.size();
+    std::vector<std::size_t> groupStart(ngroups);
+    std::vector<std::size_t> groupOf(plan.jobs.size());
+    std::size_t covered = 0;
+    for (std::size_t g = 0; g < ngroups; ++g) {
+        groupStart[g] = covered;
+        if (covered + plan.groupSizes[g] > plan.jobs.size())
+            throw std::invalid_argument(
+                "shard plan group sizes exceed the job batch");
+        for (std::uint32_t k = 0; k < plan.groupSizes[g]; ++k)
+            groupOf[covered + k] = g;
+        covered += plan.groupSizes[g];
+    }
+    if (covered != plan.jobs.size())
+        throw std::invalid_argument(
+            "shard plan group sizes do not cover the job batch");
+
+    std::vector<SweepResult> results(plan.jobs.size());
+    std::vector<SweepResult> merged(ngroups);
+    OrderedEmitter emitter(on_result, merged);
+    // Fold a group eagerly (on whichever worker finishes its last
+    // shard) so merged results stream out while later cells still run.
+    // acq_rel on the countdown orders every shard's slot write before
+    // the fold that reads them.
+    std::vector<std::atomic<std::uint32_t>> remaining(ngroups);
+    for (std::size_t g = 0; g < ngroups; ++g)
+        remaining[g].store(plan.groupSizes[g],
+                           std::memory_order_relaxed);
+    auto finishJobs = [&](std::size_t start, std::uint32_t count) {
+        std::size_t g = groupOf[start];
+        if (remaining[g].fetch_sub(count,
+                                   std::memory_order_acq_rel) ==
+            count) {
+            merged[g] = foldGroup(plan, results, groupStart[g],
+                                  plan.groupSizes[g]);
+            emitter.complete(g, 1);
+        }
+    };
+    CheckpointHook *hook = _checkpointHook;
+
+    if (warmup == ShardWarmup::Replay) {
+        _pool.parallelForWeighted(
+            jobWeights(plan.jobs), [&](std::size_t i) {
+                results[i] = runSweepJob(plan.jobs[i], hook);
+                finishJobs(i, 1);
+            });
+        return merged;
+    }
 
     std::vector<ShardUnit> units = buildShardUnits(plan);
     // A checkpoint chain simulates its cell's whole stream exactly
@@ -380,19 +648,21 @@ SweepEngine::runSharded(const ShardPlan &plan, ShardWarmup warmup)
                                                first.refs, 1)
                                          : first.costWeight());
     }
-    std::vector<SweepResult> results(plan.jobs.size());
     _pool.parallelForWeighted(weights, [&](std::size_t i) {
         const ShardUnit &unit = units[i];
         if (unit.count == 1) {
-            results[unit.start] = runSweepJob(plan.jobs[unit.start]);
+            results[unit.start] =
+                runSweepJob(plan.jobs[unit.start], hook);
+            finishJobs(unit.start, 1);
             return;
         }
         std::vector<SweepResult> chained =
-            runShardChain(plan.jobs, unit.start, unit.count);
+            runShardChain(plan.jobs, unit.start, unit.count, hook);
         for (std::uint32_t k = 0; k < unit.count; ++k)
             results[unit.start + k] = std::move(chained[k]);
+        finishJobs(unit.start, unit.count);
     });
-    return mergeShardResults(plan, results);
+    return merged;
 }
 
 } // namespace tlbpf

@@ -58,6 +58,8 @@
 #ifndef TLBPF_RUN_SWEEP_ENGINE_HH
 #define TLBPF_RUN_SWEEP_ENGINE_HH
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "run/job.hh"
@@ -67,12 +69,78 @@ namespace tlbpf
 {
 
 /**
+ * Load/store interface for *persistent* shard checkpoints — the
+ * bridge between the engine and a durable SimState store (the sweep
+ * service's on-disk CheckpointStore).  A key names the exact
+ * simulator state of one cell identity at one stream position
+ * (checkpointKey()); load() fills @p out and returns true when the
+ * store holds that state.  Implementations must be thread-safe: the
+ * engine calls the hook from its worker threads concurrently.  The
+ * hook is an accelerator, never an oracle — a state it serves must
+ * be byte-exact for its key, and the engine still verifies geometry
+ * and mechanism identity on restore, so a stale or foreign entry
+ * surfaces as a clean batch failure.
+ */
+class CheckpointHook
+{
+  public:
+    virtual ~CheckpointHook() = default;
+
+    /** Fetch the state for @p key; false when the store lacks it. */
+    virtual bool load(const std::string &key, SimState &out) = 0;
+
+    /** Persist @p state under @p key (best-effort). */
+    virtual void store(const std::string &key,
+                       const SimState &state) = 0;
+};
+
+/**
+ * Compact textual signature of a cell's geometry, stable across
+ * processes — one segment of the canonical cache identity of a cell.
+ */
+std::string configSignature(const SimConfig &config);
+
+/**
+ * Canonical cache identity of a cell: the
+ * (workload, mechanism, geometry, refs, mode) tuple rendered through
+ * WorkloadSpec::label() and MechanismSpec::canonical(), so every
+ * alias spelling of the same experiment ("ASQ" vs "sp(adaptive)",
+ * legend vs canonical mechanism forms) maps to the same key.
+ */
+std::string cellKey(const SweepJob &job);
+
+/**
+ * Identity of @p job's simulator state at stream position @p pos.
+ * Deliberately excludes the reference budget and the shard suffix:
+ * the state after [0, pos) depends only on the stream content, the
+ * geometry and the mechanism, so a checkpoint taken by an 8-shard
+ * run warms the matching boundary of a 4-shard (or bigger-budget)
+ * run of the same cell.
+ */
+std::string checkpointKey(const SweepJob &job, std::uint64_t pos);
+
+/**
  * Execute one cell on the calling thread.  Throws
  * std::invalid_argument if the job is malformed — unlike the bench
  * entry points, which tlbpf_fatal, so that the engine can report a
  * failing cell without tearing down the process from a worker thread.
  */
 SweepResult runSweepJob(const SweepJob &job);
+
+/**
+ * runSweepJob() with a persistent-checkpoint store.  For an explicit
+ * `spec#k/N` functional cell whose mechanism supports checkpointing,
+ * the warm-up replay of the stream prefix [0, begin) is replaced by
+ * restoring the stored state at `begin` when the hook has one (the
+ * stream itself is fast-forwarded without simulating), and the
+ * window-boundary states this run produces are stored back — so a
+ * distributed sweep whose shards arrive as separate requests (or
+ * after a server restart) pays the prefix cost once, not once per
+ * shard.  Counters are bit-identical to the hookless path either
+ * way.  A null @p hook, an unsharded cell, a timed cell or an
+ * uncheckpointable mechanism all fall through to plain runSweepJob().
+ */
+SweepResult runSweepJob(const SweepJob &job, CheckpointHook *hook);
 
 /** How sharded cells reconstruct simulator state at a window start. */
 enum class ShardWarmup
@@ -177,6 +245,20 @@ std::size_t shardTaskCount(const ShardPlan &plan, ShardWarmup warmup);
 class SweepEngine
 {
   public:
+    /**
+     * Incremental result delivery: invoked once per cell *in
+     * submission order* while the batch is still running, as soon as
+     * the cell and every cell before it have completed — the
+     * streaming pipe the sweep service feeds per-cell frames from.
+     * Invocations come from worker threads but are serialized (never
+     * concurrent with each other), and the result reference is the
+     * same slot the batch later returns.  If a cell fails, delivery
+     * stops just before its index and the batch call rethrows as
+     * usual.  The callback must not throw.
+     */
+    using ResultCallback =
+        std::function<void(std::size_t index, const SweepResult &)>;
+
     /** @param threads worker count; 0 = hardware concurrency. */
     explicit SweepEngine(unsigned threads = 0) : _pool(threads) {}
 
@@ -196,6 +278,16 @@ class SweepEngine
      */
     std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
                                  PassMode mode);
+
+    /**
+     * run() that additionally streams each result through
+     * @p on_result in submission order as the batch progresses; the
+     * returned vector is unchanged.  An empty callback degrades to
+     * plain run().
+     */
+    std::vector<SweepResult> run(const std::vector<SweepJob> &jobs,
+                                 PassMode mode,
+                                 const ResultCallback &on_result);
 
     /**
      * Map-reduce over shards: expandShards -> execute -> merge;
@@ -219,6 +311,30 @@ class SweepEngine
     runSharded(const ShardPlan &plan,
                ShardWarmup warmup = ShardWarmup::Checkpoint);
 
+    /**
+     * runSharded() that streams each *merged* (pre-expansion) result
+     * through @p on_result in pre-expansion submission order as its
+     * shard group completes; the returned vector is unchanged.
+     */
+    std::vector<SweepResult>
+    runSharded(const ShardPlan &plan, ShardWarmup warmup,
+               const ResultCallback &on_result);
+
+    /**
+     * Attach a persistent-checkpoint store consulted by every
+     * subsequently run cell (see runSweepJob(job, hook) for exactly
+     * which cells benefit; checkpoint-mode shard chains additionally
+     * persist each window-boundary state they pass through).  The
+     * hook must stay alive across runs and be thread-safe; nullptr
+     * detaches.  Never affects result bytes.
+     */
+    void setCheckpointHook(CheckpointHook *hook)
+    {
+        _checkpointHook = hook;
+    }
+
+    CheckpointHook *checkpointHook() const { return _checkpointHook; }
+
     /** The underlying pool, for callers with custom cell loops. */
     ThreadPool &pool() { return _pool; }
 
@@ -236,6 +352,7 @@ class SweepEngine
 
   private:
     ThreadPool _pool;
+    CheckpointHook *_checkpointHook = nullptr;
 };
 
 } // namespace tlbpf

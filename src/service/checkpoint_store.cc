@@ -1,0 +1,141 @@
+#include "service/checkpoint_store.hh"
+
+#include <stdexcept>
+
+#include "service/store_util.hh"
+#include "util/snapshot.hh"
+
+namespace tlbpf
+{
+
+namespace
+{
+
+constexpr std::uint32_t kCheckpointFileVersion = 1;
+
+std::vector<std::uint8_t>
+encodeCheckpointFile(const std::string &key, const SimState &state)
+{
+    SnapshotWriter writer;
+    writer.reserve(16 + key.size() + state.bytes.size());
+    writer.u32(kCheckpointFileVersion);
+    writer.str(key);
+    writer.u64(state.bytes.size());
+    std::vector<std::uint8_t> bytes = writer.take();
+    bytes.insert(bytes.end(), state.bytes.begin(), state.bytes.end());
+    return bytes;
+}
+
+/** Throws std::invalid_argument on any mismatch or truncation. */
+SimState
+decodeCheckpointFile(const std::vector<std::uint8_t> &bytes,
+                     const std::string &expected_key)
+{
+    SnapshotReader reader(bytes);
+    if (reader.u32() != kCheckpointFileVersion)
+        SnapshotReader::fail("checkpoint file has unknown version");
+    if (reader.str() != expected_key)
+        SnapshotReader::fail(
+            "checkpoint file key does not match its content address");
+    std::uint64_t size = reader.u64();
+    if (size != reader.remaining())
+        SnapshotReader::fail(
+            "checkpoint file payload length mismatch");
+    SimState state;
+    state.bytes.assign(bytes.end() - static_cast<std::ptrdiff_t>(size),
+                       bytes.end());
+    return state;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(const std::string &directory,
+                                 std::size_t capacity)
+    : _directory(directory), _capacity(capacity ? capacity : 1)
+{
+    if (!_directory.empty())
+        ensureDirectory(_directory);
+}
+
+std::string
+CheckpointStore::entryPath(const std::string &key) const
+{
+    return _directory + "/" + contentAddress(key) + ".ckpt";
+}
+
+void
+CheckpointStore::storeToMemory(const std::string &key,
+                               const SimState &state)
+{
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        it->second->second = state;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return;
+    }
+    _lru.emplace_front(key, state);
+    _index.emplace(key, _lru.begin());
+    while (_lru.size() > _capacity) {
+        _index.erase(_lru.back().first);
+        _lru.pop_back();
+    }
+}
+
+bool
+CheckpointStore::load(const std::string &key, SimState &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        _lru.splice(_lru.begin(), _lru, it->second);
+        out = it->second->second;
+        ++_loaded;
+        return true;
+    }
+    if (_directory.empty())
+        return false;
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(entryPath(key), bytes))
+        return false;
+    try {
+        SimState state = decodeCheckpointFile(bytes, key);
+        storeToMemory(key, state);
+        out = std::move(state);
+        ++_loaded;
+        return true;
+    } catch (const std::invalid_argument &) {
+        return false; // corrupt or colliding file: a miss
+    }
+}
+
+void
+CheckpointStore::store(const std::string &key, const SimState &state)
+{
+    if (state.empty())
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    storeToMemory(key, state);
+    ++_stored;
+    if (!_directory.empty()) {
+        std::vector<std::uint8_t> bytes =
+            encodeCheckpointFile(key, state);
+        writeFileBytesAtomic(entryPath(key), bytes.data(),
+                             bytes.size());
+    }
+}
+
+std::uint64_t
+CheckpointStore::loaded() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _loaded;
+}
+
+std::uint64_t
+CheckpointStore::stored() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stored;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Durable end-of-window SimState store behind the engine's
+ * CheckpointHook: checkpoint-mode shard chains deposit every window
+ * boundary they pass through, and explicit `spec#k/N` cells warm up
+ * from a stored boundary instead of replaying their stream prefix —
+ * across requests, and (with a directory) across server restarts.
+ *
+ * Snapshots are kept in a bounded in-memory LRU and, when a directory
+ * is configured, written through as one content-addressed file per
+ * key (the SnapshotWriter byte format with the key embedded for
+ * verification).  The store never has to be *right* about anything
+ * but bytes: the simulator re-verifies geometry and mechanism
+ * identity on restore, and the engine falls back to prefix replay if
+ * a restore throws — so a corrupt file costs time, never correctness.
+ *
+ * Thread-safe: the engine calls load()/store() from worker threads.
+ */
+
+#ifndef TLBPF_SERVICE_CHECKPOINT_STORE_HH
+#define TLBPF_SERVICE_CHECKPOINT_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "run/sweep_engine.hh"
+
+namespace tlbpf
+{
+
+class CheckpointStore : public CheckpointHook
+{
+  public:
+    /**
+     * @param directory optional persistence directory; created if
+     *                  absent (std::invalid_argument on failure);
+     *                  empty keeps snapshots in memory only.
+     * @param capacity  max snapshots resident in memory (>= 1).
+     */
+    explicit CheckpointStore(const std::string &directory = "",
+                             std::size_t capacity = 256);
+
+    bool load(const std::string &key, SimState &out) override;
+    void store(const std::string &key, const SimState &state) override;
+
+    /** Successful load() calls (memory or disk). */
+    std::uint64_t loaded() const;
+
+    /** store() calls accepted. */
+    std::uint64_t stored() const;
+
+  private:
+    std::string entryPath(const std::string &key) const;
+    void storeToMemory(const std::string &key, const SimState &state);
+
+    using Entry = std::pair<std::string, SimState>;
+
+    mutable std::mutex _mutex;
+    std::string _directory;
+    std::size_t _capacity;
+    std::list<Entry> _lru; ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> _index;
+    std::uint64_t _loaded = 0;
+    std::uint64_t _stored = 0;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_CHECKPOINT_STORE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Blocking client for the sweep service: connect, submit a sweep
+ * request, consume the streamed cell replies in submission order, and
+ * hand back results that are bit-identical to a local engine run
+ * (counters cross the wire as exact integers).
+ *
+ * Error split: TransportError means the server is unreachable or died
+ * mid-stream (retryable); std::runtime_error carries a server-side
+ * "error" frame's message (the request was wrong — not retryable);
+ * std::invalid_argument means the server sent a frame this client
+ * cannot decode (version skew or a hostile peer).
+ */
+
+#ifndef TLBPF_SERVICE_CLIENT_HH
+#define TLBPF_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+
+namespace tlbpf
+{
+
+class ServiceClient
+{
+  public:
+    /** What one sweep request produced, after the stream drained. */
+    struct SweepOutcome
+    {
+        /** One result per cell, in submission (grid) order. */
+        std::vector<SweepResult> results;
+        /** Cells the server answered from its result cache. */
+        std::uint64_t cachedCells = 0;
+        DoneReply done;
+    };
+
+    /** Per-cell progress hook; invoked as each cell frame arrives. */
+    using CellCallback = std::function<void(const CellReply &)>;
+
+    /** Connect to @p host:@p port; TransportError on failure. */
+    ServiceClient(const std::string &host, std::uint16_t port);
+
+    /**
+     * Submit @p request and consume its reply stream.  Verifies the
+     * stream shape (batch header, strictly sequential cell indices,
+     * terminal done frame with consistent counts); any violation
+     * throws std::invalid_argument.
+     */
+    SweepOutcome sweep(const SweepRequest &request,
+                       const CellCallback &on_cell = CellCallback());
+
+    StatsReply stats();
+
+    /** Round-trip a ping (liveness probe). */
+    void ping();
+
+    /** Ask the server to exit after this connection. */
+    void shutdown();
+
+  private:
+    JsonValue request(const std::string &payload,
+                      const std::string &expect_type);
+
+    OwnedFd _fd;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_CLIENT_HH

@@ -1,0 +1,474 @@
+#include "service/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "run/result_sink.hh"
+
+namespace tlbpf
+{
+
+namespace
+{
+
+[[noreturn]] void
+jsonFail(std::size_t at, const std::string &why)
+{
+    throw std::invalid_argument("json: " + why + " at byte " +
+                                std::to_string(at));
+}
+
+} // namespace
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue value = parseValue(0);
+        skipSpace();
+        if (_at != _text.size())
+            jsonFail(_at, "trailing characters after the document");
+        return value;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (_at < _text.size() &&
+               (_text[_at] == ' ' || _text[_at] == '\t' ||
+                _text[_at] == '\n' || _text[_at] == '\r'))
+            ++_at;
+    }
+
+    char
+    peek()
+    {
+        if (_at >= _text.size())
+            jsonFail(_at, "unexpected end of document");
+        return _text[_at];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            jsonFail(_at, std::string("expected '") + c + "', got '" +
+                              _text[_at] + "'");
+        ++_at;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (_at < _text.size() && _text[_at] == c) {
+            ++_at;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(const char *word)
+    {
+        std::size_t start = _at;
+        for (const char *p = word; *p; ++p, ++_at)
+            if (_at >= _text.size() || _text[_at] != *p)
+                jsonFail(start, std::string("invalid literal (wanted "
+                                            "'") +
+                                    word + "')");
+    }
+
+    JsonValue
+    parseValue(std::size_t depth)
+    {
+        if (depth > JsonValue::kMaxDepth)
+            jsonFail(_at, "nesting exceeds the protocol depth bound");
+        skipSpace();
+        char c = peek();
+        JsonValue value;
+        switch (c) {
+          case '{':
+            return parseObject(depth);
+          case '[':
+            return parseArray(depth);
+          case '"':
+            value._kind = JsonValue::Kind::String;
+            value._text = parseString();
+            return value;
+          case 't':
+            literal("true");
+            value._kind = JsonValue::Kind::Bool;
+            value._bool = true;
+            return value;
+          case 'f':
+            literal("false");
+            value._kind = JsonValue::Kind::Bool;
+            value._bool = false;
+            return value;
+          case 'n':
+            literal("null");
+            value._kind = JsonValue::Kind::Null;
+            return value;
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber();
+            jsonFail(_at, std::string("unexpected character '") + c +
+                              "'");
+        }
+    }
+
+    JsonValue
+    parseObject(std::size_t depth)
+    {
+        JsonValue value;
+        value._kind = JsonValue::Kind::Object;
+        expect('{');
+        skipSpace();
+        if (consume('}'))
+            return value;
+        while (true) {
+            skipSpace();
+            std::size_t key_at = _at;
+            if (peek() != '"')
+                jsonFail(_at, "object key must be a string");
+            std::string key = parseString();
+            if (value._members.count(key))
+                jsonFail(key_at, "duplicate object key '" + key + "'");
+            skipSpace();
+            expect(':');
+            value._keys.push_back(key);
+            value._members.emplace(std::move(key),
+                                   parseValue(depth + 1));
+            skipSpace();
+            if (consume(','))
+                continue;
+            expect('}');
+            return value;
+        }
+    }
+
+    JsonValue
+    parseArray(std::size_t depth)
+    {
+        JsonValue value;
+        value._kind = JsonValue::Kind::Array;
+        expect('[');
+        skipSpace();
+        if (consume(']'))
+            return value;
+        while (true) {
+            value._array.push_back(parseValue(depth + 1));
+            skipSpace();
+            if (consume(','))
+                continue;
+            expect(']');
+            return value;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (_at >= _text.size())
+                jsonFail(_at, "unterminated string");
+            unsigned char c =
+                static_cast<unsigned char>(_text[_at]);
+            if (c == '"') {
+                ++_at;
+                return out;
+            }
+            if (c < 0x20)
+                jsonFail(_at, "raw control character in string");
+            if (c != '\\') {
+                out.push_back(static_cast<char>(c));
+                ++_at;
+                continue;
+            }
+            ++_at; // the backslash
+            char esc = peek();
+            ++_at;
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned code = parseHex4();
+                // The protocol is ASCII-clean; non-BMP text would
+                // need surrogate handling this codec does not model.
+                if (code >= 0xD800 && code <= 0xDFFF)
+                    jsonFail(_at, "surrogate escapes are not "
+                                  "supported by the protocol codec");
+                appendUtf8(out, code);
+                break;
+              }
+              default:
+                jsonFail(_at - 1, "invalid escape sequence");
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = peek();
+            ++_at;
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                jsonFail(_at - 1, "invalid \\u escape digit");
+        }
+        return code;
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = _at;
+        consume('-');
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            jsonFail(_at, "malformed number");
+        if (!consume('0'))
+            while (_at < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_at])))
+                ++_at;
+        if (consume('.')) {
+            if (_at >= _text.size() ||
+                !std::isdigit(static_cast<unsigned char>(_text[_at])))
+                jsonFail(_at, "malformed number (empty fraction)");
+            while (_at < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_at])))
+                ++_at;
+        }
+        if (_at < _text.size() &&
+            (_text[_at] == 'e' || _text[_at] == 'E')) {
+            ++_at;
+            if (_at < _text.size() &&
+                (_text[_at] == '+' || _text[_at] == '-'))
+                ++_at;
+            if (_at >= _text.size() ||
+                !std::isdigit(static_cast<unsigned char>(_text[_at])))
+                jsonFail(_at, "malformed number (empty exponent)");
+            while (_at < _text.size() &&
+                   std::isdigit(static_cast<unsigned char>(_text[_at])))
+                ++_at;
+        }
+        JsonValue value;
+        value._kind = JsonValue::Kind::Number;
+        value._text = _text.substr(start, _at - start);
+        errno = 0;
+        value._number = std::strtod(value._text.c_str(), nullptr);
+        if (errno == ERANGE)
+            jsonFail(start, "number out of double range");
+        return value;
+    }
+
+    const std::string &_text;
+    std::size_t _at = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+namespace
+{
+
+[[noreturn]] void
+kindFail(const char *wanted)
+{
+    throw std::invalid_argument(
+        std::string("json: value is not a ") + wanted);
+}
+
+} // namespace
+
+bool
+JsonValue::asBool() const
+{
+    if (_kind != Kind::Bool)
+        kindFail("boolean");
+    return _bool;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (_kind != Kind::Number)
+        kindFail("number");
+    return _number;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (_kind != Kind::Number)
+        kindFail("number");
+    // Exactness matters: counters round-trip through the raw digit
+    // text, never through the double.
+    const std::string &digits = _text;
+    if (digits.empty() || digits[0] == '-' ||
+        digits.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument(
+            "json: '" + digits + "' is not an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value =
+        std::strtoull(digits.c_str(), &end, 10);
+    if (errno == ERANGE || end != digits.c_str() + digits.size())
+        throw std::invalid_argument(
+            "json: unsigned integer '" + digits + "' out of range");
+    return value;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (_kind != Kind::String)
+        kindFail("string");
+    return _text;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (_kind != Kind::Array)
+        kindFail("array");
+    return _array;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        kindFail("object");
+    auto it = _members.find(key);
+    return it == _members.end() ? nullptr : &it->second;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *value = find(key);
+    if (!value)
+        throw std::invalid_argument(
+            "json: missing required member '" + key + "'");
+    return *value;
+}
+
+const std::vector<std::string> &
+JsonValue::keys() const
+{
+    if (_kind != Kind::Object)
+        kindFail("object");
+    return _keys;
+}
+
+void
+JsonObjectWriter::keyPrefix(const std::string &key)
+{
+    if (!_first)
+        _text += ",";
+    _first = false;
+    _text += JsonSink::quote(key);
+    _text += ":";
+}
+
+void
+JsonObjectWriter::str(const std::string &key, const std::string &value)
+{
+    keyPrefix(key);
+    _text += JsonSink::quote(value);
+}
+
+void
+JsonObjectWriter::u64(const std::string &key, std::uint64_t value)
+{
+    keyPrefix(key);
+    _text += std::to_string(value);
+}
+
+void
+JsonObjectWriter::boolean(const std::string &key, bool value)
+{
+    keyPrefix(key);
+    _text += value ? "true" : "false";
+}
+
+void
+JsonObjectWriter::number(const std::string &key, double value)
+{
+    keyPrefix(key);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    _text += buf;
+}
+
+void
+JsonObjectWriter::raw(const std::string &key, const std::string &json)
+{
+    keyPrefix(key);
+    _text += json;
+}
+
+std::string
+JsonObjectWriter::take()
+{
+    _text += "}";
+    return std::move(_text);
+}
+
+std::string
+jsonStringArray(const std::vector<std::string> &items)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += ",";
+        out += JsonSink::quote(items[i]);
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace tlbpf

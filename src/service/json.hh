@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal strict JSON for the service protocol.
+ *
+ * The repo has always *emitted* JSON (JsonSink) but never consumed
+ * it; the sweep service's request/response frames need both sides.
+ * JsonValue is a small tagged tree with the strictness the protocol
+ * layer wants: parse() accepts exactly one RFC 8259 value with
+ * nothing but whitespace after it, rejects unbalanced structures,
+ * bad escapes, bare NaN/Infinity and input nested deeper than a
+ * fixed bound (a hostile frame must not recurse the stack away), and
+ * every error is a std::invalid_argument naming the byte offset —
+ * the same clean-failure policy the snapshot codec uses, so a
+ * malformed frame surfaces as a protocol error, never an abort.
+ *
+ * Numbers keep their raw source text alongside the double value:
+ * simulation counters are u64 and a double loses exactness past
+ * 2^53, so asU64() re-parses the original digits and round-trips
+ * every counter bit-exactly.
+ */
+
+#ifndef TLBPF_SERVICE_JSON_HH
+#define TLBPF_SERVICE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** One parsed JSON value (null/bool/number/string/array/object). */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    /**
+     * Parse exactly one JSON document; throws std::invalid_argument
+     * (with the byte offset) on any syntax error, trailing garbage,
+     * or nesting beyond kMaxDepth.
+     */
+    static JsonValue parse(const std::string &text);
+
+    /** Structures deeper than this are rejected, not recursed. */
+    static constexpr std::size_t kMaxDepth = 64;
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isObject() const { return _kind == Kind::Object; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isBool() const { return _kind == Kind::Bool; }
+
+    /* Checked accessors: throw std::invalid_argument on a kind
+     * mismatch so protocol decoding never reads a wrong union arm. */
+    bool asBool() const;
+    double asDouble() const;
+    /** Exact unsigned counter; throws unless the source text is a
+     *  plain non-negative integer that fits in 64 bits. */
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Object member, or nullptr when absent (objects only). */
+    const JsonValue *find(const std::string &key) const;
+    /** Object member that must exist; throws when absent. */
+    const JsonValue &at(const std::string &key) const;
+    /** Member keys in source order (objects only). */
+    const std::vector<std::string> &keys() const;
+
+  private:
+    friend class JsonParser;
+
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0;
+    std::string _text; ///< string value, or a number's raw digits
+    std::vector<JsonValue> _array;
+    std::vector<std::string> _keys; ///< object keys, source order
+    std::map<std::string, JsonValue> _members;
+};
+
+/**
+ * Incremental JSON object writer for protocol frames: append typed
+ * key/value pairs, take the finished text.  Strings are escaped per
+ * RFC 8259 (shares JsonSink's escaper); u64 counters are emitted as
+ * bare digit runs so they survive the round-trip exactly.
+ */
+class JsonObjectWriter
+{
+  public:
+    JsonObjectWriter() : _text("{") {}
+
+    void str(const std::string &key, const std::string &value);
+    void u64(const std::string &key, std::uint64_t value);
+    void boolean(const std::string &key, bool value);
+    void number(const std::string &key, double value);
+    /** Append an already-serialized JSON value verbatim. */
+    void raw(const std::string &key, const std::string &json);
+
+    /** Close the object and return the document. */
+    std::string take();
+
+  private:
+    void keyPrefix(const std::string &key);
+
+    std::string _text;
+    bool _first = true;
+};
+
+/** Serialize a list of strings as a JSON array. */
+std::string jsonStringArray(const std::vector<std::string> &items);
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_JSON_HH

@@ -1,0 +1,153 @@
+#include "service/result_cache.hh"
+
+#include <stdexcept>
+
+#include "service/protocol.hh"
+#include "service/store_util.hh"
+
+namespace tlbpf
+{
+
+std::string
+encodeCacheEntry(const std::string &key, const SweepResult &result)
+{
+    JsonObjectWriter out;
+    out.str("key", key);
+    out.str("workload", result.workload);
+    out.str("mechanism", result.mechanism);
+    out.str("mode",
+            result.mode == JobMode::Timed ? "timed" : "functional");
+    out.raw("counters", encodeCounters(result.functional));
+    if (result.mode == JobMode::Timed)
+        out.raw("timing", encodeTiming(result.timed));
+    return out.take();
+}
+
+SweepResult
+decodeCacheEntry(const std::string &text,
+                 const std::string &expected_key)
+{
+    JsonValue entry = JsonValue::parse(text);
+    if (!entry.isObject())
+        throw std::invalid_argument(
+            "cache entry must be a JSON object");
+    if (entry.at("key").asString() != expected_key)
+        throw std::invalid_argument(
+            "cache entry key does not match its content address");
+    SweepResult result;
+    result.workload = entry.at("workload").asString();
+    result.mechanism = entry.at("mechanism").asString();
+    const std::string &mode = entry.at("mode").asString();
+    if (mode == "timed")
+        result.mode = JobMode::Timed;
+    else if (mode == "functional")
+        result.mode = JobMode::Functional;
+    else
+        throw std::invalid_argument("cache entry has unknown mode '" +
+                                    mode + "'");
+    result.functional = decodeCounters(entry.at("counters"));
+    if (result.mode == JobMode::Timed) {
+        result.timed = decodeTiming(entry.at("timing"));
+        result.timed.functional = result.functional;
+    } else if (entry.find("timing")) {
+        throw std::invalid_argument(
+            "cache entry: functional cells carry no timing member");
+    }
+    return result;
+}
+
+ResultCache::ResultCache(std::size_t capacity,
+                         const std::string &directory)
+    : _capacity(capacity ? capacity : 1), _directory(directory)
+{
+    if (!_directory.empty())
+        ensureDirectory(_directory);
+    _stats.capacity = _capacity;
+}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return _directory + "/" + contentAddress(key) + ".cell";
+}
+
+bool
+ResultCache::loadFromDisk(const std::string &key, SweepResult &out)
+{
+    if (_directory.empty())
+        return false;
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(entryPath(key), bytes))
+        return false;
+    try {
+        out = decodeCacheEntry(
+            std::string(bytes.begin(), bytes.end()), key);
+        return true;
+    } catch (const std::invalid_argument &) {
+        return false; // corrupt or colliding entry: a miss
+    }
+}
+
+void
+ResultCache::storeToMemory(const std::string &key,
+                           const SweepResult &result)
+{
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        it->second->second = result;
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return;
+    }
+    _lru.emplace_front(key, result);
+    _index.emplace(key, _lru.begin());
+    while (_lru.size() > _capacity) {
+        _index.erase(_lru.back().first);
+        _lru.pop_back();
+        ++_stats.evictions;
+    }
+}
+
+bool
+ResultCache::lookup(const std::string &key, SweepResult &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        _lru.splice(_lru.begin(), _lru, it->second);
+        out = it->second->second;
+        ++_stats.hits;
+        return true;
+    }
+    if (loadFromDisk(key, out)) {
+        storeToMemory(key, out);
+        ++_stats.hits;
+        return true;
+    }
+    ++_stats.misses;
+    return false;
+}
+
+void
+ResultCache::insert(const std::string &key, const SweepResult &result)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    storeToMemory(key, result);
+    if (!_directory.empty()) {
+        std::string text = encodeCacheEntry(key, result);
+        writeFileBytesAtomic(
+            entryPath(key),
+            reinterpret_cast<const std::uint8_t *>(text.data()),
+            text.size());
+    }
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Stats stats = _stats;
+    stats.entries = _lru.size();
+    return stats;
+}
+
+} // namespace tlbpf

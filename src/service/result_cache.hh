@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bounded LRU cache of finished sweep cells, keyed by the canonical
+ * cell identity (cellKey(): workload label + canonical mechanism +
+ * geometry signature + reference budget), optionally persisted to a
+ * directory so a restarted server answers repeat sweeps without
+ * re-simulating anything.
+ *
+ * Keying through the canonical forms means every alias spelling of
+ * the same experiment — "ASQ" vs "sp(adaptive)", a figure-legend
+ * mechanism vs its grammar form — lands on the same entry.
+ *
+ * The in-memory side is a strict LRU over `capacity` entries; the
+ * on-disk side (when a directory is configured) is unbounded and
+ * written through on every insert, one content-addressed file per
+ * entry with the key verified on read — a hash collision or a corrupt
+ * file degrades to a miss, never a wrong result.  All operations are
+ * thread-safe; persistence failures are swallowed (the cache is an
+ * accelerator, not a source of truth).
+ */
+
+#ifndef TLBPF_SERVICE_RESULT_CACHE_HH
+#define TLBPF_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "run/job.hh"
+
+namespace tlbpf
+{
+
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;      ///< lookups served (memory or disk)
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0; ///< LRU entries dropped from memory
+        std::uint64_t entries = 0;   ///< resident in memory now
+        std::uint64_t capacity = 0;  ///< memory bound
+    };
+
+    /**
+     * @param capacity  max resident entries (>= 1).
+     * @param directory optional persistence directory; created if
+     *                  absent (std::invalid_argument on failure);
+     *                  empty disables persistence.
+     */
+    explicit ResultCache(std::size_t capacity,
+                         const std::string &directory = "");
+
+    /**
+     * Fetch the result cached under @p key into @p out; refreshes the
+     * entry's recency.  A memory miss consults the persistence
+     * directory and promotes a disk hit into memory.
+     */
+    bool lookup(const std::string &key, SweepResult &out);
+
+    /** Insert (or refresh) @p result under @p key; writes through. */
+    void insert(const std::string &key, const SweepResult &result);
+
+    Stats stats() const;
+
+  private:
+    std::string entryPath(const std::string &key) const;
+    bool loadFromDisk(const std::string &key, SweepResult &out);
+    void storeToMemory(const std::string &key,
+                       const SweepResult &result);
+
+    using Entry = std::pair<std::string, SweepResult>;
+
+    mutable std::mutex _mutex;
+    std::size_t _capacity;
+    std::string _directory;
+    std::list<Entry> _lru; ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> _index;
+    Stats _stats;
+};
+
+/** Serialize one cache entry (also the on-disk file format). */
+std::string encodeCacheEntry(const std::string &key,
+                             const SweepResult &result);
+
+/**
+ * Strict inverse of encodeCacheEntry(); throws std::invalid_argument
+ * on malformed input or when the embedded key differs from
+ * @p expected_key (content-address collision).
+ */
+SweepResult decodeCacheEntry(const std::string &text,
+                             const std::string &expected_key);
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_RESULT_CACHE_HH

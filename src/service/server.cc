@@ -1,0 +1,234 @@
+#include "service/server.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <stdexcept>
+#include <sys/socket.h>
+
+#include "service/store_util.hh"
+
+namespace tlbpf
+{
+
+namespace
+{
+
+/** "<root>/<name>", creating <root>; "" stays "" (memory-only). */
+std::string
+storeSubdir(const std::string &root, const char *name)
+{
+    if (root.empty())
+        return "";
+    ensureDirectory(root);
+    return root + "/" + name;
+}
+
+CellReply
+makeReply(std::size_t index, const SweepResult &result, bool cached)
+{
+    CellReply reply;
+    reply.index = index;
+    reply.workload = result.workload;
+    reply.mechanism = result.mechanism;
+    reply.mode = result.mode;
+    reply.cached = cached;
+    reply.counters = result.functional;
+    reply.timed = result.timed;
+    return reply;
+}
+
+} // namespace
+
+SweepServer::SweepServer(const ServerOptions &options)
+    : _options(options), _engine(options.threads),
+      _cache(options.cacheCapacity,
+             storeSubdir(options.cacheDir, "cells")),
+      _checkpoints(storeSubdir(options.cacheDir, "checkpoints"),
+                   options.checkpointCapacity)
+{
+    _engine.setCheckpointHook(&_checkpoints);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) !=
+        1)
+        throw std::invalid_argument(
+            "'" + options.host +
+            "' is not a dotted-quad IPv4 address");
+
+    int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (raw < 0)
+        throw TransportError(std::string("cannot create socket: ") +
+                             std::strerror(errno));
+    OwnedFd sock(raw);
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(sock.fd(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        throw TransportError("cannot bind " + options.host + ":" +
+                             std::to_string(options.port) + ": " +
+                             std::strerror(errno));
+    if (::listen(sock.fd(), 8) != 0)
+        throw TransportError(std::string("cannot listen: ") +
+                             std::strerror(errno));
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&bound),
+                      &bound_len) != 0)
+        throw TransportError(std::string("getsockname failed: ") +
+                             std::strerror(errno));
+    _port = ntohs(bound.sin_port);
+    _listen = std::move(sock);
+}
+
+void
+SweepServer::serve()
+{
+    while (!_stop.load()) {
+        int fd = ::accept(_listen.fd(), nullptr, nullptr);
+        if (fd < 0) {
+            // EINTR is the requestStop() signal path; the loop
+            // condition decides whether to keep accepting.
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            throw TransportError(std::string("accept failed: ") +
+                                 std::strerror(errno));
+        }
+        OwnedFd conn(fd);
+        handleConnection(conn.fd());
+    }
+}
+
+void
+SweepServer::handleConnection(int fd)
+{
+    try {
+        JsonValue message;
+        std::string type;
+        while (readMessage(fd, message, type)) {
+            if (type == "ping") {
+                writeFrame(fd, "{\"type\":\"pong\"}");
+            } else if (type == "stats") {
+                writeFrame(fd, stats().encode());
+            } else if (type == "shutdown") {
+                writeFrame(fd, "{\"type\":\"bye\"}");
+                _stop.store(true);
+                return;
+            } else if (type == "sweep") {
+                handleSweep(fd, message);
+            } else {
+                throw std::invalid_argument(
+                    "unknown request type '" + type + "'");
+            }
+        }
+    } catch (const std::invalid_argument &e) {
+        // Hostile or malformed input: answer with the reason
+        // (best-effort) and drop only this connection.
+        try {
+            writeFrame(fd, encodeError(e.what()));
+        } catch (const TransportError &) {
+        }
+    } catch (const TransportError &) {
+        // The peer vanished; nothing left to answer.
+    }
+}
+
+void
+SweepServer::handleSweep(int fd, const JsonValue &message)
+{
+    SweepRequest request = SweepRequest::decode(message);
+    std::vector<SweepJob> jobs = request.expand();
+    _requests.fetch_add(1);
+    _cells.fetch_add(jobs.size());
+
+    std::size_t n = jobs.size();
+    std::vector<std::string> keys(n);
+    std::vector<SweepResult> results(n);
+    std::vector<char> ready(n, 0);
+    std::vector<char> cached(n, 0);
+    std::vector<SweepJob> pending;
+    std::vector<std::size_t> pending_index;
+    for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = cellKey(jobs[i]);
+        if (_cache.lookup(keys[i], results[i])) {
+            ready[i] = 1;
+            cached[i] = 1;
+        } else {
+            pending.push_back(jobs[i]);
+            pending_index.push_back(i);
+        }
+    }
+
+    writeFrame(fd, encodeBatch(n));
+    bool broken = false;
+    std::size_t next = 0;
+    auto emitReady = [&]() {
+        while (next < n && ready[next]) {
+            if (!broken) {
+                try {
+                    writeFrame(fd, makeReply(next, results[next],
+                                             cached[next] != 0)
+                                       .encode());
+                } catch (const TransportError &) {
+                    // The client vanished mid-stream.  Keep running:
+                    // the batch's results still populate the cache,
+                    // so the retry is (mostly) free.
+                    broken = true;
+                }
+            }
+            ++next;
+        }
+    };
+    emitReady();
+
+    if (!pending.empty()) {
+        // Invoked serialized and in submission order by the engine
+        // (ResultCallback contract), so `next`/`ready` need no lock.
+        auto on_result = [&](std::size_t sub,
+                             const SweepResult &result) {
+            std::size_t i = pending_index[sub];
+            results[i] = result;
+            _cache.insert(keys[i], result);
+            ready[i] = 1;
+            emitReady();
+        };
+        if (request.shards > 1 &&
+            request.mode == JobMode::Functional) {
+            ShardPlan plan = expandShards(pending, request.shards);
+            _engine.runSharded(plan, request.shardWarmup, on_result);
+        } else {
+            _engine.run(pending, request.passMode, on_result);
+        }
+    }
+
+    if (broken)
+        throw TransportError("client disconnected mid-stream");
+    DoneReply done;
+    done.cells = n;
+    done.simulated = pending.size();
+    done.cacheHits = n - pending.size();
+    writeFrame(fd, done.encode());
+}
+
+StatsReply
+SweepServer::stats() const
+{
+    ResultCache::Stats cache = _cache.stats();
+    StatsReply reply;
+    reply.requests = _requests.load();
+    reply.cells = _cells.load();
+    reply.cacheHits = cache.hits;
+    reply.cacheMisses = cache.misses;
+    reply.cacheEvictions = cache.evictions;
+    reply.cacheEntries = cache.entries;
+    reply.cacheCapacity = cache.capacity;
+    reply.checkpointsStored = _checkpoints.stored();
+    reply.checkpointsLoaded = _checkpoints.loaded();
+    return reply;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The tlbpf sweep service: a loopback TCP daemon that runs sweep
+ * batches on a shared SweepEngine behind a persistent ResultCache and
+ * CheckpointStore.
+ *
+ * One accept loop, one connection at a time: parallelism lives
+ * *inside* a batch (the engine's work-stealing pool), not across
+ * clients, which keeps every determinism contract of the direct CLI
+ * path — cells stream back in submission order and a repeat sweep is
+ * answered entirely from the cache, bit-identical to the first run.
+ *
+ * Failure policy mirrors the engine's: a malformed request gets an
+ * "error" frame and only that connection is dropped; a client that
+ * vanishes mid-stream (TransportError) aborts its stream but the
+ * in-flight batch still completes and populates the cache; the server
+ * keeps serving in both cases.  requestStop() (async-signal-safe) or
+ * a "shutdown" request ends the accept loop after the current
+ * connection finishes — in-flight batches always drain.
+ */
+
+#ifndef TLBPF_SERVICE_SERVER_HH
+#define TLBPF_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "run/sweep_engine.hh"
+#include "service/checkpoint_store.hh"
+#include "service/protocol.hh"
+#include "service/result_cache.hh"
+
+namespace tlbpf
+{
+
+struct ServerOptions
+{
+    std::string host = "127.0.0.1"; ///< dotted-quad bind address
+    std::uint16_t port = kDefaultServicePort; ///< 0 = ephemeral
+    unsigned threads = 0;          ///< engine workers; 0 = hardware
+    std::size_t cacheCapacity = 4096; ///< result-cache LRU bound
+    std::size_t checkpointCapacity = 256; ///< snapshot LRU bound
+    std::string cacheDir; ///< persistence root; empty = memory only
+};
+
+class SweepServer
+{
+  public:
+    /**
+     * Bind and listen.  Throws std::invalid_argument on a bad host or
+     * an unusable cache directory, TransportError when the socket
+     * cannot be bound.  With port 0 the kernel picks a free port —
+     * read it back via port().
+     */
+    explicit SweepServer(const ServerOptions &options);
+
+    /** The actually-bound port (resolves an ephemeral request). */
+    std::uint16_t port() const { return _port; }
+
+    /**
+     * Accept-and-serve until requestStop() or a "shutdown" request.
+     * Runs on the calling thread.
+     */
+    void serve();
+
+    /**
+     * Stop the accept loop after the connection in progress (if any)
+     * completes.  Async-signal-safe: safe to call from a SIGINT or
+     * SIGTERM handler (pair with an interrupting sigaction so a
+     * blocking accept() returns EINTR).
+     */
+    void requestStop() { _stop.store(true); }
+
+    /** Server-lifetime counters (also the "stats" reply). */
+    StatsReply stats() const;
+
+  private:
+    void handleConnection(int fd);
+    void handleSweep(int fd, const JsonValue &message);
+
+    ServerOptions _options;
+    OwnedFd _listen;
+    std::uint16_t _port = 0;
+    SweepEngine _engine;
+    ResultCache _cache;
+    CheckpointStore _checkpoints;
+    std::atomic<bool> _stop{false};
+    std::atomic<std::uint64_t> _requests{0}; ///< sweep batches handled
+    std::atomic<std::uint64_t> _cells{0}; ///< cells answered in total
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_SERVER_HH

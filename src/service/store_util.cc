@@ -1,0 +1,82 @@
+#include "service/store_util.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace tlbpf
+{
+
+std::string
+contentAddress(const std::string &key)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
+}
+
+void
+ensureDirectory(const std::string &path)
+{
+    if (path.empty())
+        throw std::invalid_argument(
+            "store directory path must not be empty");
+    if (::mkdir(path.c_str(), 0755) == 0)
+        return;
+    if (errno != EEXIST)
+        throw std::invalid_argument("cannot create directory '" +
+                                    path + "': " +
+                                    std::strerror(errno));
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+        throw std::invalid_argument("'" + path +
+                                    "' exists and is not a directory");
+}
+
+bool
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t block[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(block, 1, sizeof(block), file)) > 0)
+        bytes.insert(bytes.end(), block, block + got);
+    bool ok = !std::ferror(file);
+    std::fclose(file);
+    if (!ok)
+        return false;
+    out = std::move(bytes);
+    return true;
+}
+
+bool
+writeFileBytesAtomic(const std::string &path, const std::uint8_t *bytes,
+                     std::size_t count)
+{
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid()));
+    std::FILE *file = std::fopen(tmp.c_str(), "wb");
+    if (!file)
+        return false;
+    bool ok = count == 0 || std::fwrite(bytes, 1, count, file) == count;
+    ok = (std::fclose(file) == 0) && ok;
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0)
+        ok = false;
+    if (!ok)
+        ::unlink(tmp.c_str());
+    return ok;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Filesystem plumbing shared by the sweep service's persistent stores
+ * (ResultCache entries, CheckpointStore snapshots): content-addressed
+ * file names and atomic whole-file writes.
+ *
+ * Keys are arbitrary strings (canonical cell identities, checkpoint
+ * identities) and may contain characters no filesystem accepts, so a
+ * store file is named by the FNV-1a hash of its key and the key is
+ * repeated *inside* the file — readers verify it, so a hash collision
+ * degrades to a cache miss, never to a wrong answer.
+ */
+
+#ifndef TLBPF_SERVICE_STORE_UTIL_HH
+#define TLBPF_SERVICE_STORE_UTIL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tlbpf
+{
+
+/** 64-bit FNV-1a of @p key as 16 lowercase hex digits. */
+std::string contentAddress(const std::string &key);
+
+/**
+ * Create @p path as a directory if it does not exist (one level; the
+ * parent must exist).  Throws std::invalid_argument when the path
+ * cannot be created or names something that is not a directory.
+ */
+void ensureDirectory(const std::string &path);
+
+/**
+ * Read the whole file at @p path.  Returns false (leaving @p out
+ * untouched) when the file does not exist or cannot be read — stores
+ * treat both as a miss.
+ */
+bool readFileBytes(const std::string &path,
+                   std::vector<std::uint8_t> &out);
+
+/**
+ * Replace the file at @p path with @p bytes atomically (write to a
+ * sibling temp file, then rename), so a concurrent reader sees the
+ * old entry or the new one, never a torn write.  Returns false on
+ * failure — persistence is an accelerator, so callers drop the entry
+ * rather than fail the request.
+ */
+bool writeFileBytesAtomic(const std::string &path,
+                          const std::uint8_t *bytes, std::size_t count);
+
+} // namespace tlbpf
+
+#endif // TLBPF_SERVICE_STORE_UTIL_HH

@@ -80,6 +80,9 @@ struct SimResult
     std::uint64_t footprintPages = 0;
     std::uint64_t contextSwitches = 0;
 
+    /** Counter-for-counter equality (bit-identity assertions). */
+    bool operator==(const SimResult &other) const = default;
+
     /** TLB miss rate per reference. */
     double
     missRate() const

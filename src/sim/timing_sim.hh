@@ -54,6 +54,9 @@ struct TimingResult
     std::uint64_t memoryOps = 0;///< prefetch-channel operations
     std::uint64_t prefetchesSkippedBusy = 0; ///< RP benefit-of-doubt
     std::uint64_t inFlightHits = 0; ///< buffer hits that still stalled
+
+    /** Counter-for-counter equality (bit-identity assertions). */
+    bool operator==(const TimingResult &other) const = default;
 };
 
 /** Stepping timing simulator. */
