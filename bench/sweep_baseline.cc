@@ -55,6 +55,15 @@
  * The server's lifetime hit fraction lands as cache_hit_rate, so
  * both the wire overhead and the cache's payoff are tracked.
  *
+ * A seventh phase runs the same grid through the distributed
+ * Dispatcher with two in-process workers pulling leases against a
+ * 1-thread local engine — the lease/complete cycle a tlbpf-worker
+ * fleet drives, minus the wire.  Byte-identity against the serial run
+ * is asserted and the fleet must carry at least one cell; the record
+ * gains dispatch_cells_per_sec, lease_reclaims and
+ * worker_utilization_min/max so fleet scheduling health is part of
+ * the committed perf trajectory.
+ *
  * Because the committed record is produced in a 1-core container
  * where parallel speedup is unmeasurable, the baseline also times
  * the *same* batch as a raw serial loop (no engine, no pool) vs a
@@ -66,11 +75,14 @@
  *                       [--mech spec,...] [--list-mechanisms]
  */
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 
 #include "bench_common.hh"
+#include "dispatch/dispatcher.hh"
 #include "service/client.hh"
 #include "service/server.hh"
 #include "trace/trace_file.hh"
@@ -388,6 +400,76 @@ main(int argc, char **argv)
                   static_cast<double>(service_stats.cells)
             : 0.0;
 
+    // The distributed dispatcher: the functional grid again, on a
+    // deliberately narrow (1-thread) local engine with two in-process
+    // workers pulling leases through the Dispatcher API — the same
+    // lease/complete cycle tlbpf-worker drives over TCP, minus the
+    // wire.  Byte-identity against the serial run is asserted (the
+    // grid is the front of `jobs`), and the fleet must actually carry
+    // cells: a dispatcher that stops granting leases fails the bench
+    // rather than quietly recording a local-only number.
+    std::vector<SweepJob> fleet_jobs;
+    for (const std::string &app : highMissRateApps())
+        for (const MechanismSpec &spec : functional_mechs)
+            fleet_jobs.push_back(SweepJob::functional(
+                WorkloadSpec::app(app), spec, options.refs));
+    ShardPlan fleet_plan;
+    fleet_plan.jobs = fleet_jobs;
+    fleet_plan.groupSizes.assign(fleet_jobs.size(), 1);
+    SweepEngine fleet_engine(1);
+    Dispatcher fleet_dispatcher(fleet_engine);
+    std::atomic<bool> fleet_done{false};
+    auto pull_leases = [&] {
+        std::uint64_t id = fleet_dispatcher.registerWorker(1);
+        LeaseGrant grant;
+        while (!fleet_done.load()) {
+            if (!fleet_dispatcher.lease(id, grant)) {
+                std::this_thread::yield();
+                continue;
+            }
+            std::vector<SweepResult> computed;
+            computed.reserve(grant.jobs.size());
+            for (const SweepJob &job : grant.jobs)
+                computed.push_back(runSweepJob(job));
+            fleet_dispatcher.completeLease(grant.lease,
+                                           std::move(computed));
+        }
+        fleet_dispatcher.unregisterWorker(id);
+    };
+    std::thread fleet_worker1(pull_leases);
+    std::thread fleet_worker2(pull_leases);
+    while (fleet_dispatcher.counters().workers != 2)
+        std::this_thread::yield(); // both registered before the batch
+    auto fleet_start = Clock::now();
+    std::vector<SweepResult> fleet_results = fleet_dispatcher.runBatch(
+        fleet_plan, ShardWarmup::Replay, PassMode::PerMechanism,
+        [](std::size_t, const SweepResult &) {});
+    double fleet_s =
+        std::chrono::duration<double>(Clock::now() - fleet_start)
+            .count();
+    fleet_done.store(true);
+    fleet_worker1.join();
+    fleet_worker2.join();
+    Dispatcher::BatchStats fleet_batch =
+        fleet_dispatcher.lastBatchStats();
+    for (std::size_t i = 0; i < fleet_results.size(); ++i)
+        if (!(fleet_results[i].functional ==
+              serial_results[i].functional))
+            tlbpf_fatal("dispatched sweep diverged from the serial "
+                        "run at cell ",
+                        i);
+    if (fleet_batch.remoteCells == 0)
+        tlbpf_fatal("the two-worker fleet never carried a cell");
+    double dispatch_cps =
+        static_cast<double>(fleet_jobs.size()) / fleet_s;
+    double fleet_util_min = 1.0, fleet_util_max = 0.0;
+    for (const auto &entry : fleet_batch.workerBusy) {
+        double utilization =
+            fleet_s > 0 ? entry.second / fleet_s : 0.0;
+        fleet_util_min = std::min(fleet_util_min, utilization);
+        fleet_util_max = std::max(fleet_util_max, utilization);
+    }
+
     // On a single-core host — or a run pinned to --threads 1 — the
     // serial-vs-parallel comparison only measures scheduling noise;
     // record null so trend tracking never mistakes a ~1.0x "speedup"
@@ -445,6 +527,15 @@ main(int argc, char **argv)
                 "cells/sec), lifetime hit rate %.2f\n",
                 service_cold.results.size(), service_s, service_cps,
                 cache_hit_s, cache_hit_cps, cache_hit_rate);
+    std::printf("dispatch (2-worker fleet, 1-thread local engine, "
+                "%zu cells): %.3fs (%.1f cells/sec), %llu remote, "
+                "%llu reclaims, worker utilization %.2f..%.2f\n",
+                fleet_jobs.size(), fleet_s, dispatch_cps,
+                static_cast<unsigned long long>(
+                    fleet_batch.remoteCells),
+                static_cast<unsigned long long>(
+                    fleet_batch.leaseReclaims),
+                fleet_util_min, fleet_util_max);
 
     JsonSink json(options.jsonPath);
     json.header({"bench", "cells", "refs_per_cell", "threads",
@@ -461,7 +552,9 @@ main(int argc, char **argv)
                  "worker_busy_fraction_min",
                  "worker_busy_fraction_max", "lpt_imbalance",
                  "service_cells_per_sec", "cache_hit_cells_per_sec",
-                 "cache_hit_rate"});
+                 "cache_hit_rate", "dispatch_cells_per_sec",
+                 "lease_reclaims", "worker_utilization_min",
+                 "worker_utilization_max"});
     json.row({"sweep_baseline", std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
@@ -493,7 +586,11 @@ main(int argc, char **argv)
               TablePrinter::num(sched.lptImbalance, 3),
               TablePrinter::num(service_cps, 2),
               TablePrinter::num(cache_hit_cps, 2),
-              TablePrinter::num(cache_hit_rate, 3)});
+              TablePrinter::num(cache_hit_rate, 3),
+              TablePrinter::num(dispatch_cps, 2),
+              std::to_string(fleet_batch.leaseReclaims),
+              TablePrinter::num(fleet_util_min, 3),
+              TablePrinter::num(fleet_util_max, 3)});
     json.finish();
     std::printf("wrote %s\n", options.jsonPath.c_str());
     return 0;

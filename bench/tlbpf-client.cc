@@ -62,6 +62,12 @@ printStats(const StatsReply &stats)
     line("cache_capacity", stats.cacheCapacity);
     line("checkpoints_stored", stats.checkpointsStored);
     line("checkpoints_loaded", stats.checkpointsLoaded);
+    line("workers", stats.workers);
+    line("leases_granted", stats.leasesGranted);
+    line("lease_reclaims", stats.leaseReclaims);
+    line("cells_dispatched", stats.cellsDispatched);
+    line("store_evicted_files", stats.storeEvictedFiles);
+    line("store_evicted_bytes", stats.storeEvictedBytes);
 }
 
 } // namespace

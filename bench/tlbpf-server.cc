@@ -8,6 +8,13 @@
  *
  *   tlbpf-server [--host 127.0.0.1] [--port 7733] [--threads N]
  *                [--cache-dir DIR] [--cache-capacity N]
+ *                [--max-clients N] [--lease-timeout-ms N]
+ *                [--store-max-bytes N] [--store-ttl SECONDS]
+ *
+ * tlbpf-worker processes that connect to the same port join the
+ * dispatch fleet and pull sweep cells on lease (see src/dispatch/).
+ * --store-max-bytes/--store-ttl bound the on-disk cell + checkpoint
+ * stores under --cache-dir (LRU by mtime, shared budget).
  *
  * SIGINT/SIGTERM stop the accept loop after the in-flight request
  * drains; the exit line reports the lifetime counters.
@@ -42,7 +49,8 @@ main(int argc, char **argv)
 
     CliArgs args(argc, argv,
                  {"host", "port", "threads", "cache-dir",
-                  "cache-capacity"});
+                  "cache-capacity", "max-clients", "lease-timeout-ms",
+                  "store-max-bytes", "store-ttl"});
     ServerOptions options;
     options.port = static_cast<std::uint16_t>(bench::boundedCountFlag(
         args, "port", 1, 65535,
@@ -60,6 +68,18 @@ main(int argc, char **argv)
     options.cacheCapacity = static_cast<std::size_t>(
         bench::boundedCountFlag(args, "cache-capacity", 1,
                                 std::int64_t(1) << 20, 4096));
+    options.maxClients = static_cast<std::size_t>(
+        bench::boundedCountFlag(args, "max-clients", 1, 4096, 64));
+    options.leaseTimeoutMs = static_cast<std::uint64_t>(
+        bench::boundedCountFlag(args, "lease-timeout-ms", 1,
+                                std::int64_t(1) << 30, 2000));
+    // 0 disables the respective bound (unbounded store / no TTL).
+    options.storeMaxBytes = static_cast<std::uint64_t>(
+        bench::boundedCountFlag(args, "store-max-bytes", 0,
+                                std::int64_t(1) << 50, 0));
+    options.storeTtlSeconds = static_cast<std::uint64_t>(
+        bench::boundedCountFlag(args, "store-ttl", 0,
+                                std::int64_t(1) << 40, 0));
     options.cacheDir = args.get("cache-dir");
     if (!options.cacheDir.empty()) {
         try {
@@ -99,13 +119,17 @@ main(int argc, char **argv)
             stderr,
             "tlbpf-server exiting: %llu requests, %llu cells "
             "(%llu cache hits, %llu misses), %llu checkpoints "
-            "stored, %llu loaded\n",
+            "stored, %llu loaded, %llu cells dispatched "
+            "(%llu lease reclaims), %llu store files evicted\n",
             static_cast<unsigned long long>(stats.requests),
             static_cast<unsigned long long>(stats.cells),
             static_cast<unsigned long long>(stats.cacheHits),
             static_cast<unsigned long long>(stats.cacheMisses),
             static_cast<unsigned long long>(stats.checkpointsStored),
-            static_cast<unsigned long long>(stats.checkpointsLoaded));
+            static_cast<unsigned long long>(stats.checkpointsLoaded),
+            static_cast<unsigned long long>(stats.cellsDispatched),
+            static_cast<unsigned long long>(stats.leaseReclaims),
+            static_cast<unsigned long long>(stats.storeEvictedFiles));
         g_server = nullptr;
     } catch (const std::exception &e) {
         tlbpf_fatal(e.what());

@@ -1,0 +1,406 @@
+#include "dispatch/dispatcher.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tlbpf
+{
+
+namespace
+{
+
+std::chrono::milliseconds
+leaseWindow(const DispatcherOptions &options)
+{
+    return std::chrono::milliseconds(
+        options.leaseTimeoutMs ? options.leaseTimeoutMs : 1);
+}
+
+} // namespace
+
+Dispatcher::Dispatcher(SweepEngine &engine,
+                       const DispatcherOptions &options)
+    : _engine(engine), _options(options)
+{
+}
+
+std::uint64_t
+Dispatcher::registerWorker(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::uint64_t id = _nextWorker++;
+    _workers.emplace(id, threads ? threads : 1);
+    return id;
+}
+
+void
+Dispatcher::unregisterWorker(std::uint64_t worker)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_workers.erase(worker) == 0)
+        return;
+    // A dead worker's leases go straight back in the queue: the CI
+    // kill-a-worker smoke relies on this being immediate, not
+    // deadline-paced.
+    for (auto it = _leases.begin(); it != _leases.end();) {
+        if (it->second.worker != worker) {
+            ++it;
+            continue;
+        }
+        if (_batch) {
+            for (const Unit &unit : it->second.units)
+                _batch->queue.push_back(unit);
+            _batch->reclaims += 1;
+        }
+        _counters.leaseReclaims += 1;
+        it = _leases.erase(it);
+    }
+    _cv.notify_all();
+}
+
+void
+Dispatcher::heartbeat(std::uint64_t worker)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Clock::time_point deadline = Clock::now() + leaseWindow(_options);
+    for (auto &entry : _leases)
+        if (entry.second.worker == worker)
+            entry.second.deadline = deadline;
+}
+
+bool
+Dispatcher::lease(std::uint64_t worker, LeaseGrant &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto wit = _workers.find(worker);
+    if (wit == _workers.end())
+        throw std::invalid_argument("lease: unknown worker id " +
+                                    std::to_string(worker));
+    if (!_batch)
+        return false;
+    Clock::time_point now = Clock::now();
+    reclaimExpiredLocked(now);
+
+    auto takeNext = [&](bool plainOnly) -> bool {
+        auto &queue = _batch->queue;
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            if (!it->remoteable || (plainOnly && it->chain))
+                continue;
+            Unit unit = *it;
+            queue.erase(it);
+            LeaseState &state = _leases[out.lease];
+            state.units.push_back(unit);
+            state.jobCount += unit.count;
+            for (std::uint32_t k = 0; k < unit.count; ++k)
+                out.jobs.push_back(
+                    _batch->plan->jobs[unit.first + k]);
+            out.chain = unit.chain;
+            return true;
+        }
+        return false;
+    };
+
+    out.lease = _nextLease; // reserved; only consumed on a grant
+    out.chain = false;
+    out.jobs.clear();
+    if (!takeNext(/*plainOnly=*/false)) {
+        _leases.erase(out.lease);
+        return false;
+    }
+    if (!out.chain) {
+        // Fill the block with more plain cells, up to the worker's
+        // own width; a chain is always granted alone (it is one
+        // sequential task however many shards it spans).
+        std::size_t cap =
+            std::min<std::size_t>(wit->second, _options.maxLeaseCells);
+        while (out.jobs.size() < cap && takeNext(/*plainOnly=*/true))
+            ;
+    }
+    _nextLease += 1;
+    LeaseState &state = _leases[out.lease];
+    state.worker = worker;
+    state.granted = now;
+    state.deadline = now + leaseWindow(_options);
+    _counters.leasesGranted += 1;
+    return true;
+}
+
+bool
+Dispatcher::completeLease(std::uint64_t lease,
+                          std::vector<SweepResult> results)
+{
+    Batch *batch = nullptr;
+    std::vector<Unit> units;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _leases.find(lease);
+        if (it == _leases.end() || !_batch)
+            return false; // expired, reclaimed, or a stale batch
+        if (results.size() != it->second.jobCount)
+            throw std::invalid_argument(
+                "cell result carries " +
+                std::to_string(results.size()) +
+                " results for a lease of " +
+                std::to_string(it->second.jobCount) + " cells");
+        units = std::move(it->second.units);
+        double busy = std::chrono::duration<double>(
+                          Clock::now() - it->second.granted)
+                          .count();
+        batch = _batch;
+        batch->remoteCells += results.size();
+        batch->busy[it->second.worker] += busy;
+        batch->finishers += 1; // keeps the batch alive while we emit
+        _counters.cellsDispatched += results.size();
+        _leases.erase(it);
+    }
+    std::size_t offset = 0;
+    for (const Unit &unit : units) {
+        std::vector<SweepResult> slice(
+            std::make_move_iterator(results.begin() + offset),
+            std::make_move_iterator(results.begin() + offset +
+                                    unit.count));
+        offset += unit.count;
+        finishUnit(*batch, unit, std::move(slice));
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        batch->finishers -= 1;
+    }
+    // `batch` may be destroyed by runBatch() the moment the count
+    // hits zero — nothing below may touch it.
+    _cv.notify_all();
+    return true;
+}
+
+void
+Dispatcher::failLease(std::uint64_t lease)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _leases.find(lease);
+    if (it == _leases.end())
+        return;
+    if (_batch) {
+        for (Unit unit : it->second.units) {
+            unit.remoteable = false; // this work is local-only now
+            _batch->queue.push_back(unit);
+        }
+    }
+    _counters.remoteFailures += 1;
+    _leases.erase(it);
+    _cv.notify_all();
+}
+
+bool
+Dispatcher::hasWorkers() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return !_workers.empty();
+}
+
+Dispatcher::Counters
+Dispatcher::counters() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Counters out = _counters;
+    out.workers = _workers.size();
+    return out;
+}
+
+Dispatcher::BatchStats
+Dispatcher::lastBatchStats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _lastBatch;
+}
+
+void
+Dispatcher::reclaimExpiredLocked(Clock::time_point now)
+{
+    for (auto it = _leases.begin(); it != _leases.end();) {
+        if (it->second.deadline > now) {
+            ++it;
+            continue;
+        }
+        if (_batch) {
+            for (const Unit &unit : it->second.units)
+                _batch->queue.push_back(unit);
+            _batch->reclaims += 1;
+        }
+        _counters.leaseReclaims += 1;
+        it = _leases.erase(it);
+    }
+}
+
+void
+Dispatcher::finishUnit(Batch &batch, const Unit &unit,
+                       std::vector<SweepResult> results)
+{
+    // Fold the unit's shard windows into its pre-expansion cell via
+    // the engine's own reduce step, so a remotely-run chain merges
+    // byte-identically to runSharded().
+    ShardPlan sub;
+    sub.jobs.assign(batch.plan->jobs.begin() + unit.first,
+                    batch.plan->jobs.begin() + unit.first + unit.count);
+    sub.groupSizes = {unit.count};
+    std::vector<SweepResult> merged = mergeShardResults(sub, results);
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        batch.merged[unit.group] = std::move(merged.front());
+        batch.groupsDone += 1;
+    }
+    // The emitter serializes delivery itself; calling it outside
+    // _mutex keeps the client-write path off the scheduler lock.
+    batch.emitter->complete(unit.group, 1);
+}
+
+void
+Dispatcher::runUnitLocal(Batch &batch, const Unit &unit)
+{
+    CheckpointHook *hook = _engine.checkpointHook();
+    std::vector<SweepResult> results(unit.count);
+    try {
+        // Chain units run their shards in stream order on this one
+        // thread, so shard k warms from the k-1 boundary state the
+        // hook just stored (or replays when checkpointing is off).
+        for (std::uint32_t k = 0; k < unit.count; ++k)
+            results[k] =
+                runSweepJob(batch.plan->jobs[unit.first + k], hook);
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (!batch.failed || unit.first < batch.failIndex) {
+                batch.failed = true;
+                batch.failIndex = unit.first;
+                batch.error = std::current_exception();
+            }
+            batch.groupsDone += 1; // resolved, albeit by failing
+        }
+        _cv.notify_all();
+        return;
+    }
+    finishUnit(batch, unit, std::move(results));
+    _cv.notify_all();
+}
+
+void
+Dispatcher::localDrain(Batch &batch)
+{
+    for (;;) {
+        Unit unit;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            for (;;) {
+                if (batch.groupsDone == batch.merged.size())
+                    return;
+                reclaimExpiredLocked(Clock::now());
+                if (!batch.queue.empty()) {
+                    // Locals take the back; leases take the front.
+                    // The two ends only meet when the queue is nearly
+                    // empty, which keeps the tail of a batch local
+                    // (no waiting out a lease on the last cell).
+                    unit = batch.queue.back();
+                    batch.queue.pop_back();
+                    break;
+                }
+                // Everything is in flight.  Sleep until the earliest
+                // lease deadline (to reclaim a stalled worker) or a
+                // completion wakes us.
+                Clock::time_point wake =
+                    Clock::now() + std::chrono::milliseconds(200);
+                for (const auto &entry : _leases)
+                    wake = std::min(wake, entry.second.deadline);
+                _cv.wait_until(lock, wake +
+                                         std::chrono::milliseconds(1));
+            }
+        }
+        runUnitLocal(batch, unit);
+    }
+}
+
+std::vector<SweepResult>
+Dispatcher::runBatch(const ShardPlan &plan, ShardWarmup warmup,
+                     PassMode mode,
+                     const SweepEngine::ResultCallback &on_result)
+{
+    bool dispatch;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_batch)
+            throw std::logic_error(
+                "Dispatcher::runBatch is not reentrant");
+        dispatch = !_workers.empty();
+    }
+    if (!dispatch) {
+        // No fleet: the engine's own paths (including single-pass
+        // stream batching) are both faster and byte-identical, and
+        // they ARE the behaviour the 0-worker CI baseline captures.
+        if (plan.jobs.size() == plan.groupSizes.size())
+            return _engine.run(plan.jobs, mode, on_result);
+        return _engine.runSharded(plan, warmup, on_result);
+    }
+
+    Batch batch;
+    batch.plan = &plan;
+    batch.merged.resize(plan.groupSizes.size());
+    std::size_t first = 0;
+    for (std::size_t g = 0; g < plan.groupSizes.size(); ++g) {
+        Unit unit;
+        unit.group = g;
+        unit.first = first;
+        unit.count = plan.groupSizes[g];
+        unit.chain = unit.count > 1;
+        unit.remoteable = true;
+        for (std::uint32_t k = 0; k < unit.count; ++k)
+            if (plan.jobs[first + k].mode != JobMode::Functional)
+                unit.remoteable = false;
+        batch.queue.push_back(unit);
+        first += unit.count;
+    }
+    OrderedEmitter emitter(on_result, batch.merged);
+    batch.emitter = &emitter;
+    batch.start = Clock::now();
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _batch = &batch;
+    }
+    _cv.notify_all();
+
+    unsigned width = std::max(1u, _engine.threads());
+    _engine.pool().parallelFor(
+        width, [&](std::size_t) { localDrain(batch); });
+
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        // The local drain loops are done, but a worker session may
+        // still be inside completeLease() emitting its last results;
+        // the batch (and its emitter) must outlive that.
+        _cv.wait(lock, [&] { return batch.finishers == 0; });
+        _batch = nullptr;
+        // Any lease still out refers to units the batch already
+        // resolved (its holder went quiet and was reclaimed past the
+        // deadline, or the batch beat it locally).  Drop them so a
+        // late result is discarded, not misapplied to a later batch.
+        _leases.clear();
+        _lastBatch = BatchStats{};
+        _lastBatch.seconds = std::chrono::duration<double>(
+                                 Clock::now() - batch.start)
+                                 .count();
+        _lastBatch.cells = plan.jobs.size();
+        _lastBatch.remoteCells = batch.remoteCells;
+        _lastBatch.leaseReclaims = batch.reclaims;
+        for (const auto &entry : _workers) {
+            auto busy = batch.busy.find(entry.first);
+            _lastBatch.workerBusy.emplace_back(
+                entry.first,
+                busy == batch.busy.end() ? 0.0 : busy->second);
+        }
+    }
+    _cv.notify_all();
+
+    if (batch.failed)
+        std::rethrow_exception(batch.error);
+    return batch.merged;
+}
+
+} // namespace tlbpf

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The dispatch subsystem's core: a lease-based work pool that fans a
+ * sweep batch out across the server's local engine and any number of
+ * registered remote workers, with the same determinism contract as a
+ * purely local run.
+ *
+ * Execution model.  One batch (a ShardPlan) is active at a time — the
+ * server serializes sweeps across connections.  runBatch() turns the
+ * plan's groups into work units (one unit per pre-expansion cell: a
+ * singleton job, or the checkpoint-chained shards of one cell run in
+ * stream order) and puts them in a shared queue.  Local drain loops —
+ * one per engine pool thread — pull units from the back; worker
+ * sessions lease units from the front (a block of up to
+ * `worker threads` plain cells, or one chain).  Whoever completes a
+ * unit folds its shard window counters into the pre-expansion cell
+ * result (mergeShardResults) and marks the cell's slot in the shared
+ * OrderedEmitter, so the client-facing stream arrives in submission
+ * order no matter which side — or which machine — simulated a cell.
+ *
+ * Leases carry a deadline.  A worker refreshes its deadlines with
+ * one-way heartbeats; a worker whose connection drops is reclaimed
+ * immediately (unregisterWorker), and one that stalls past its
+ * deadline is reclaimed by whichever local drain loop notices — its
+ * units go back in the queue and the batch always completes.  A
+ * result arriving for a reclaimed lease is discarded (completeLease
+ * returns false), so no cell is ever double-counted.
+ *
+ * Determinism.  Every unit's result is bit-identical wherever it
+ * runs: cells and counters cross the wire as exact integers, shard
+ * windows depend only on (stream, geometry, mechanism), and slots
+ * are pre-assigned — so the lease/reclaim interleaving can change
+ * *who* computes a cell but never a byte of the ordered stream.
+ * With no workers registered at batch start, runBatch() degrades to
+ * the engine's own run()/runSharded() paths (including single-pass
+ * batching), exactly the pre-dispatch server behaviour.
+ *
+ * Only functional cells are leased; timed cells always run locally
+ * (their TimingConfig carries doubles the integer-exact wire format
+ * deliberately does not).
+ */
+
+#ifndef TLBPF_DISPATCH_DISPATCHER_HH
+#define TLBPF_DISPATCH_DISPATCHER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "dispatch/dispatch_protocol.hh"
+#include "run/sweep_engine.hh"
+
+namespace tlbpf
+{
+
+struct DispatcherOptions
+{
+    /** A lease not refreshed within this window is reclaimed. */
+    std::uint64_t leaseTimeoutMs = 2000;
+    /** Hard cap on plain cells granted in one lease. */
+    std::size_t maxLeaseCells = 16;
+};
+
+class Dispatcher
+{
+  public:
+    /** Lifetime counters (surface through the server's "stats"). */
+    struct Counters
+    {
+        std::uint64_t workers = 0;        ///< registered right now
+        std::uint64_t leasesGranted = 0;
+        std::uint64_t leaseReclaims = 0;  ///< deadline + dead-worker
+        std::uint64_t cellsDispatched = 0; ///< plan jobs run remotely
+        std::uint64_t remoteFailures = 0; ///< leases failed by workers
+    };
+
+    /** Telemetry of the most recent dispatched batch. */
+    struct BatchStats
+    {
+        double seconds = 0;          ///< batch wall-clock
+        std::uint64_t cells = 0;     ///< plan jobs in the batch
+        std::uint64_t remoteCells = 0;
+        std::uint64_t leaseReclaims = 0;
+        /** (worker id, seconds that worker held completed leases). */
+        std::vector<std::pair<std::uint64_t, double>> workerBusy;
+    };
+
+    explicit Dispatcher(SweepEngine &engine,
+                        const DispatcherOptions &options = {});
+
+    /* ---- worker-session side (any thread) ---- */
+
+    /** Register a worker; returns its id for this session. */
+    std::uint64_t registerWorker(unsigned threads);
+
+    /**
+     * Drop a worker (its connection ended); every lease it still
+     * holds is reclaimed into the local queue immediately.
+     */
+    void unregisterWorker(std::uint64_t worker);
+
+    /** Refresh the deadline of every lease @p worker holds. */
+    void heartbeat(std::uint64_t worker);
+
+    /**
+     * Lease the next block of work to @p worker.  Returns false when
+     * no leasable work is queued right now (idle).  Throws
+     * std::invalid_argument for an unregistered worker id.
+     */
+    bool lease(std::uint64_t worker, LeaseGrant &out);
+
+    /**
+     * Integrate a completed lease: one result per granted job, in
+     * grant order.  Returns false (payload discarded) when the lease
+     * already expired or was reclaimed.  Throws
+     * std::invalid_argument when the payload does not match the
+     * grant's shape — the session drops that worker.
+     */
+    bool completeLease(std::uint64_t lease,
+                       std::vector<SweepResult> results);
+
+    /**
+     * The worker could not run the lease (e.g. a server-local trace
+     * path); its cells are requeued local-only.  Unknown or expired
+     * leases are ignored.
+     */
+    void failLease(std::uint64_t lease);
+
+    /** True when at least one worker is registered. */
+    bool hasWorkers() const;
+
+    Counters counters() const;
+    BatchStats lastBatchStats() const;
+
+    /* ---- batch side (one caller at a time) ---- */
+
+    /**
+     * Run @p plan to completion across the local engine and any
+     * registered workers, streaming merged pre-expansion results
+     * through @p on_result in submission order (the engine's
+     * ResultCallback contract).  Returns the merged results.  Callers
+     * must serialize runBatch() invocations (the server holds its
+     * batch mutex across this call).  Rethrows the lowest-index cell
+     * failure after the batch drains, like SweepEngine::run.
+     */
+    std::vector<SweepResult>
+    runBatch(const ShardPlan &plan, ShardWarmup warmup, PassMode mode,
+             const SweepEngine::ResultCallback &on_result);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One schedulable unit: a whole pre-expansion group. */
+    struct Unit
+    {
+        std::size_t group = 0; ///< index into plan.groupSizes
+        std::size_t first = 0; ///< first index into plan.jobs
+        std::uint32_t count = 1;
+        bool remoteable = false;
+        bool chain = false;
+    };
+
+    struct LeaseState
+    {
+        std::uint64_t worker = 0;
+        std::vector<Unit> units;
+        std::size_t jobCount = 0;
+        Clock::time_point granted;
+        Clock::time_point deadline;
+    };
+
+    struct Batch
+    {
+        const ShardPlan *plan = nullptr;
+        std::vector<SweepResult> merged; ///< one slot per group
+        std::deque<Unit> queue;
+        std::size_t groupsDone = 0;
+        std::size_t finishers = 0; ///< remote completions mid-emit
+        bool failed = false;
+        std::size_t failIndex = 0; ///< lowest failing plan-job index
+        std::exception_ptr error;
+        OrderedEmitter *emitter = nullptr;
+        Clock::time_point start;
+        std::uint64_t remoteCells = 0;
+        std::uint64_t reclaims = 0;
+        std::map<std::uint64_t, double> busy; ///< worker -> seconds
+    };
+
+    void localDrain(Batch &batch);
+    void runUnitLocal(Batch &batch, const Unit &unit);
+    /** Fold a unit's per-shard results into its group slot + emit. */
+    void finishUnit(Batch &batch, const Unit &unit,
+                    std::vector<SweepResult> results);
+    /** Requeue every lease whose deadline passed (under _mutex). */
+    void reclaimExpiredLocked(Clock::time_point now);
+
+    SweepEngine &_engine;
+    DispatcherOptions _options;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::map<std::uint64_t, unsigned> _workers; ///< id -> threads
+    std::map<std::uint64_t, LeaseState> _leases;
+    std::uint64_t _nextWorker = 1;
+    std::uint64_t _nextLease = 1;
+    Batch *_batch = nullptr;
+    Counters _counters;
+    BatchStats _lastBatch;
+};
+
+} // namespace tlbpf
+
+#endif // TLBPF_DISPATCH_DISPATCHER_HH

@@ -455,49 +455,6 @@ jobWeights(const std::vector<SweepJob> &jobs)
     return weights;
 }
 
-/**
- * Serialized, submission-ordered streaming delivery.  Workers mark
- * their result slots complete as they finish; whichever worker
- * advances the frontier emits every consecutive completed result
- * under the mutex, so callback invocations are ordered, never
- * concurrent, and see fully-written results (the slot write
- * happens-before the mutexed completion mark).  A slot whose task
- * failed is never marked, so delivery stalls just before the failing
- * index and the batch call's rethrow takes over — exactly the
- * documented ResultCallback contract.
- */
-class OrderedEmitter
-{
-  public:
-    OrderedEmitter(const SweepEngine::ResultCallback &cb,
-                   const std::vector<SweepResult> &results)
-        : _cb(cb), _results(results), _done(results.size(), 0)
-    {
-    }
-
-    /** Mark @p count consecutive slots at @p start complete. */
-    void
-    complete(std::size_t start, std::size_t count)
-    {
-        if (!_cb)
-            return;
-        std::lock_guard<std::mutex> lock(_mutex);
-        for (std::size_t k = 0; k < count; ++k)
-            _done[start + k] = 1;
-        while (_frontier < _done.size() && _done[_frontier]) {
-            _cb(_frontier, _results[_frontier]);
-            ++_frontier;
-        }
-    }
-
-  private:
-    const SweepEngine::ResultCallback &_cb;
-    const std::vector<SweepResult> &_results;
-    std::vector<char> _done;
-    std::mutex _mutex;
-    std::size_t _frontier = 0;
-};
-
 } // namespace
 
 std::vector<SweepResult>

@@ -102,6 +102,9 @@ CheckpointStore::load(const std::string &key, SimState &out)
         storeToMemory(key, state);
         out = std::move(state);
         ++_loaded;
+        // A disk hit refreshes the entry's mtime, which is the
+        // recency order the --store-max-bytes eviction sweep uses.
+        touchFile(entryPath(key));
         return true;
     } catch (const std::invalid_argument &) {
         return false; // corrupt or colliding file: a miss

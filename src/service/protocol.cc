@@ -153,9 +153,6 @@ readMessage(int fd, JsonValue &message, std::string &type)
     return true;
 }
 
-namespace
-{
-
 const char *
 jobModeName(JobMode mode)
 {
@@ -173,10 +170,6 @@ parseJobMode(const std::string &text)
                                 "' (expected functional or timed)");
 }
 
-/**
- * Reject members outside @p allowed, so a typo'd request field fails
- * loudly instead of silently running with a default.
- */
 void
 requireKnownKeys(const JsonValue &object, const char *what,
                  const std::vector<std::string> &allowed)
@@ -229,8 +222,6 @@ decodeConfig(const JsonValue &object)
         config.contextSwitchInterval = v->asU64();
     return config;
 }
-
-} // namespace
 
 std::string
 encodeCounters(const SimResult &counters)
@@ -497,6 +488,12 @@ StatsReply::encode() const
     out.u64("cache_capacity", cacheCapacity);
     out.u64("checkpoints_stored", checkpointsStored);
     out.u64("checkpoints_loaded", checkpointsLoaded);
+    out.u64("workers", workers);
+    out.u64("leases_granted", leasesGranted);
+    out.u64("lease_reclaims", leaseReclaims);
+    out.u64("cells_dispatched", cellsDispatched);
+    out.u64("store_evicted_files", storeEvictedFiles);
+    out.u64("store_evicted_bytes", storeEvictedBytes);
     return out.take();
 }
 
@@ -507,7 +504,10 @@ StatsReply::decode(const JsonValue &message)
                      {"type", "requests", "cells", "cache_hits",
                       "cache_misses", "cache_evictions",
                       "cache_entries", "cache_capacity",
-                      "checkpoints_stored", "checkpoints_loaded"});
+                      "checkpoints_stored", "checkpoints_loaded",
+                      "workers", "leases_granted", "lease_reclaims",
+                      "cells_dispatched", "store_evicted_files",
+                      "store_evicted_bytes"});
     StatsReply reply;
     reply.requests = message.at("requests").asU64();
     reply.cells = message.at("cells").asU64();
@@ -520,6 +520,14 @@ StatsReply::decode(const JsonValue &message)
         message.at("checkpoints_stored").asU64();
     reply.checkpointsLoaded =
         message.at("checkpoints_loaded").asU64();
+    reply.workers = message.at("workers").asU64();
+    reply.leasesGranted = message.at("leases_granted").asU64();
+    reply.leaseReclaims = message.at("lease_reclaims").asU64();
+    reply.cellsDispatched = message.at("cells_dispatched").asU64();
+    reply.storeEvictedFiles =
+        message.at("store_evicted_files").asU64();
+    reply.storeEvictedBytes =
+        message.at("store_evicted_bytes").asU64();
     return reply;
 }
 

@@ -114,6 +114,30 @@ bool readFrame(int fd, std::string &payload);
 /** readFrame + JsonValue::parse + require an object with "type". */
 bool readMessage(int fd, JsonValue &message, std::string &type);
 
+/** Canonical wire value of a JobMode: "functional" or "timed". */
+const char *jobModeName(JobMode mode);
+
+/**
+ * Parse a job-mode wire value; throws std::invalid_argument on
+ * anything but "functional"/"timed".
+ */
+JobMode parseJobMode(const std::string &text);
+
+/**
+ * Reject members outside @p allowed, so a typo'd request field fails
+ * loudly instead of silently running with a default — the strict-
+ * decode backbone of every protocol struct (including the dispatch
+ * subsystem's worker verbs).
+ */
+void requireKnownKeys(const JsonValue &object, const char *what,
+                      const std::vector<std::string> &allowed);
+
+/** Simulator geometry as a JSON object (exact integers). */
+std::string encodeConfig(const SimConfig &config);
+
+/** Strict inverse of encodeConfig(); throws std::invalid_argument. */
+SimConfig decodeConfig(const JsonValue &object);
+
 /** One simulation counter block as a JSON object (exact integers). */
 std::string encodeCounters(const SimResult &counters);
 
@@ -191,6 +215,14 @@ struct StatsReply
     std::uint64_t cacheCapacity = 0;  ///< LRU bound
     std::uint64_t checkpointsStored = 0;
     std::uint64_t checkpointsLoaded = 0;
+    /* Dispatch-subsystem counters (worker fleet). */
+    std::uint64_t workers = 0;        ///< workers registered now
+    std::uint64_t leasesGranted = 0;  ///< lifetime lease grants
+    std::uint64_t leaseReclaims = 0;  ///< expired/dead-worker reclaims
+    std::uint64_t cellsDispatched = 0; ///< cells completed remotely
+    /* On-disk store eviction counters (--store-max-bytes/--store-ttl). */
+    std::uint64_t storeEvictedFiles = 0;
+    std::uint64_t storeEvictedBytes = 0;
 
     std::string encode() const;
     static StatsReply decode(const JsonValue &message);

@@ -82,6 +82,9 @@ ResultCache::loadFromDisk(const std::string &key, SweepResult &out)
     try {
         out = decodeCacheEntry(
             std::string(bytes.begin(), bytes.end()), key);
+        // A disk hit refreshes the entry's mtime, which is the
+        // recency order the --store-max-bytes eviction sweep uses.
+        touchFile(entryPath(key));
         return true;
     } catch (const std::invalid_argument &) {
         return false; // corrupt or colliding entry: a miss

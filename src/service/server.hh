@@ -2,21 +2,34 @@
  * @file
  * The tlbpf sweep service: a loopback TCP daemon that runs sweep
  * batches on a shared SweepEngine behind a persistent ResultCache and
- * CheckpointStore.
+ * CheckpointStore, and fans batch cells out to registered
+ * tlbpf-worker processes through the dispatch subsystem.
  *
- * One accept loop, one connection at a time: parallelism lives
- * *inside* a batch (the engine's work-stealing pool), not across
- * clients, which keeps every determinism contract of the direct CLI
- * path — cells stream back in submission order and a repeat sweep is
- * answered entirely from the cache, bit-identical to the first run.
+ * Concurrency model: the accept loop is a 200ms poll() tick that
+ * spawns one session thread per connection (bounded by
+ * --max-clients; excess connections get an "error" frame and are
+ * closed instead of silently queueing in the backlog).  Client
+ * *batches* still run one at a time — a mutex serializes the
+ * cache-lookup + run + cache-fill span, which is what keeps a repeat
+ * sweep bit-identical and two concurrent clients' shared-cache
+ * accounting exact — but worker sessions bypass that mutex entirely:
+ * lease, heartbeat and cell_result verbs land directly on the
+ * Dispatcher, which is how remote workers make progress *inside*
+ * another connection's batch.
  *
  * Failure policy mirrors the engine's: a malformed request gets an
- * "error" frame and only that connection is dropped; a client that
- * vanishes mid-stream (TransportError) aborts its stream but the
- * in-flight batch still completes and populates the cache; the server
- * keeps serving in both cases.  requestStop() (async-signal-safe) or
- * a "shutdown" request ends the accept loop after the current
- * connection finishes — in-flight batches always drain.
+ * "error" frame and only that connection is dropped (a worker's
+ * leases are reclaimed and re-run locally); a client that vanishes
+ * mid-stream (TransportError) aborts its stream but the in-flight
+ * batch still completes and populates the cache; the server keeps
+ * serving in both cases.  requestStop() (async-signal-safe) or a
+ * "shutdown" request ends the accept loop — in-flight batches always
+ * drain before serve() returns.
+ *
+ * Disk stores: with --store-max-bytes / --store-ttl set, the cell and
+ * checkpoint directories are swept (oldest mtime first, shared
+ * budget) at startup and after every sweep; reads touch their file's
+ * mtime, so the sweep is an LRU over both stores together.
  */
 
 #ifndef TLBPF_SERVICE_SERVER_HH
@@ -24,8 +37,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "dispatch/dispatcher.hh"
 #include "run/sweep_engine.hh"
 #include "service/checkpoint_store.hh"
 #include "service/protocol.hh"
@@ -42,6 +61,10 @@ struct ServerOptions
     std::size_t cacheCapacity = 4096; ///< result-cache LRU bound
     std::size_t checkpointCapacity = 256; ///< snapshot LRU bound
     std::string cacheDir; ///< persistence root; empty = memory only
+    std::size_t maxClients = 64; ///< concurrent sessions; excess shed
+    std::uint64_t leaseTimeoutMs = 2000; ///< worker-lease reclaim window
+    std::uint64_t storeMaxBytes = 0; ///< disk budget; 0 = unbounded
+    std::uint64_t storeTtlSeconds = 0; ///< disk entry TTL; 0 = none
 };
 
 class SweepServer
@@ -55,20 +78,21 @@ class SweepServer
      */
     explicit SweepServer(const ServerOptions &options);
 
+    ~SweepServer();
+
     /** The actually-bound port (resolves an ephemeral request). */
     std::uint16_t port() const { return _port; }
 
     /**
      * Accept-and-serve until requestStop() or a "shutdown" request.
-     * Runs on the calling thread.
+     * Runs the accept loop on the calling thread; sessions run on
+     * their own threads and are joined before this returns.
      */
     void serve();
 
     /**
-     * Stop the accept loop after the connection in progress (if any)
-     * completes.  Async-signal-safe: safe to call from a SIGINT or
-     * SIGTERM handler (pair with an interrupting sigaction so a
-     * blocking accept() returns EINTR).
+     * Stop serve() at its next poll tick (<= ~200ms).  Async-signal-
+     * safe: safe to call from a SIGINT or SIGTERM handler.
      */
     void requestStop() { _stop.store(true); }
 
@@ -76,8 +100,21 @@ class SweepServer
     StatsReply stats() const;
 
   private:
+    struct Session
+    {
+        OwnedFd fd;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
     void handleConnection(int fd);
     void handleSweep(int fd, const JsonValue &message);
+    void handleWorker(int fd, const JsonValue &hello_message);
+    void workerLoop(int fd, std::uint64_t worker);
+    /** Apply --store-max-bytes/--store-ttl to the disk stores. */
+    void evictStores();
+    /** Join (and drop) finished session threads. */
+    void reapSessions(bool all);
 
     ServerOptions _options;
     OwnedFd _listen;
@@ -85,9 +122,17 @@ class SweepServer
     SweepEngine _engine;
     ResultCache _cache;
     CheckpointStore _checkpoints;
+    Dispatcher _dispatcher;
+    std::vector<std::string> _storeDirs; ///< on-disk store roots
+    std::mutex _batchMutex; ///< one client batch at a time
+    std::mutex _sessionsMutex;
+    std::list<std::unique_ptr<Session>> _sessions;
     std::atomic<bool> _stop{false};
     std::atomic<std::uint64_t> _requests{0}; ///< sweep batches handled
     std::atomic<std::uint64_t> _cells{0}; ///< cells answered in total
+    std::atomic<std::uint64_t> _shedded{0}; ///< connections refused
+    std::atomic<std::uint64_t> _storeEvictedFiles{0};
+    std::atomic<std::uint64_t> _storeEvictedBytes{0};
 };
 
 } // namespace tlbpf

@@ -1,8 +1,12 @@
 #include "service/store_util.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <dirent.h>
+#include <fcntl.h>
 #include <stdexcept>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -77,6 +81,99 @@ writeFileBytesAtomic(const std::string &path, const std::uint8_t *bytes,
     if (!ok)
         ::unlink(tmp.c_str());
     return ok;
+}
+
+void
+touchFile(const std::string &path)
+{
+    ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+}
+
+namespace
+{
+
+struct StoreFile
+{
+    std::string path;
+    std::time_t mtime;
+    std::uint64_t bytes;
+};
+
+/** Every committed (non-".tmp.") regular file under @p dir. */
+void
+collectStoreFiles(const std::string &dir, std::vector<StoreFile> &out)
+{
+    DIR *handle = ::opendir(dir.c_str());
+    if (!handle)
+        return;
+    while (const dirent *entry = ::readdir(handle)) {
+        std::string name = entry->d_name;
+        if (name == "." || name == ".." ||
+            name.find(".tmp.") != std::string::npos)
+            continue;
+        std::string path = dir + "/" + name;
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode))
+            continue;
+        out.push_back({std::move(path), st.st_mtime,
+                       static_cast<std::uint64_t>(st.st_size)});
+    }
+    ::closedir(handle);
+}
+
+} // namespace
+
+EvictStats
+evictStaleStoreFiles(const std::vector<std::string> &dirs,
+                     std::uint64_t max_total_bytes,
+                     std::uint64_t ttl_seconds)
+{
+    EvictStats evicted;
+    if (max_total_bytes == 0 && ttl_seconds == 0)
+        return evicted;
+
+    std::vector<StoreFile> files;
+    for (const std::string &dir : dirs)
+        if (!dir.empty())
+            collectStoreFiles(dir, files);
+
+    std::uint64_t total = 0;
+    for (const StoreFile &file : files)
+        total += file.bytes;
+
+    std::time_t now = std::time(nullptr);
+    std::vector<StoreFile> survivors;
+    survivors.reserve(files.size());
+    for (StoreFile &file : files) {
+        bool expired =
+            ttl_seconds != 0 && file.mtime <= now &&
+            static_cast<std::uint64_t>(now - file.mtime) > ttl_seconds;
+        if (expired && ::unlink(file.path.c_str()) == 0) {
+            ++evicted.files;
+            evicted.bytes += file.bytes;
+            total -= file.bytes;
+        } else {
+            survivors.push_back(std::move(file));
+        }
+    }
+
+    if (max_total_bytes == 0 || total <= max_total_bytes)
+        return evicted;
+    std::sort(survivors.begin(), survivors.end(),
+              [](const StoreFile &a, const StoreFile &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const StoreFile &file : survivors) {
+        if (total <= max_total_bytes)
+            break;
+        if (::unlink(file.path.c_str()) == 0) {
+            ++evicted.files;
+            evicted.bytes += file.bytes;
+            total -= file.bytes;
+        }
+    }
+    return evicted;
 }
 
 } // namespace tlbpf

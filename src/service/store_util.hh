@@ -49,6 +49,40 @@ bool readFileBytes(const std::string &path,
 bool writeFileBytesAtomic(const std::string &path,
                           const std::uint8_t *bytes, std::size_t count);
 
+/**
+ * Refresh @p path's mtime to now (best-effort).  The stores touch an
+ * entry on every disk hit, which is what turns the eviction sweep's
+ * by-mtime order into a by-recency (LRU) order.
+ */
+void touchFile(const std::string &path);
+
+/** What one eviction sweep removed. */
+struct EvictStats
+{
+    std::uint64_t files = 0;
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * The shared eviction/TTL sweep over the persistent stores'
+ * directories: delete every regular file whose mtime is older than
+ * @p ttl_seconds (0 disables the TTL pass), then, oldest-mtime first
+ * across all of @p dirs together, delete files until the combined
+ * size is at most @p max_total_bytes (0 = unbounded).  In-flight
+ * ".tmp." files from writeFileBytesAtomic() are skipped.
+ *
+ * Deletion is a plain unlink, so it is atomic with respect to
+ * readers: a reader that already opened the file keeps its data, and
+ * one that opens after the unlink sees a miss — eviction of an
+ * in-use entry degrades to a cache miss, never a torn read.
+ * Missing directories contribute nothing; unlink races (two sweeps,
+ * or a concurrent re-write) are counted only when this call's unlink
+ * succeeded.
+ */
+EvictStats evictStaleStoreFiles(const std::vector<std::string> &dirs,
+                                std::uint64_t max_total_bytes,
+                                std::uint64_t ttl_seconds);
+
 } // namespace tlbpf
 
 #endif // TLBPF_SERVICE_STORE_UTIL_HH

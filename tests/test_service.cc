@@ -660,16 +660,22 @@ TEST(Server, EndToEndSweepCacheAndResilience)
     EXPECT_EQ(stats.cacheHits, 9u);
 
     // Connections don't leak fds: a burst of pings returns the
-    // process to its steady-state count.  The server closes its side
-    // just after the reply, so sample until the count settles.
+    // process to its steady-state count.  A finished session's fd is
+    // only released by the serve loop's reap pass (every 200ms poll
+    // tick), so "stable" must mean unchanged across a full reap
+    // cycle, not just two adjacent samples.
     auto stableFdCount = [] {
         std::size_t count = openFdCount();
-        for (int i = 0; i < 200; ++i) {
+        int held = 0;
+        for (int i = 0; i < 400 && held < 30; ++i) {
             ::usleep(10 * 1000);
             std::size_t next = openFdCount();
-            if (next == count)
-                return count;
-            count = next;
+            if (next == count) {
+                ++held;
+            } else {
+                held = 0;
+                count = next;
+            }
         }
         return count;
     };
