@@ -87,6 +87,18 @@
 #include "service/server.hh"
 #include "trace/trace_file.hh"
 
+// A sanitized build runs the whole suite 2-20x slower, so its timings
+// must never be mistaken for a baseline.  The record carries the
+// build flavor and CI asserts it is false for the committed numbers.
+// TLBPF_SANITIZED_BUILD comes from -DTLBPF_SANITIZE=...; the compiler
+// macros catch builds that passed -fsanitize= by hand.
+#if defined(TLBPF_SANITIZED_BUILD) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+#define TLBPF_BENCH_SANITIZED true
+#else
+#define TLBPF_BENCH_SANITIZED false
+#endif
+
 int
 main(int argc, char **argv)
 {
@@ -538,7 +550,8 @@ main(int argc, char **argv)
                 fleet_util_min, fleet_util_max);
 
     JsonSink json(options.jsonPath);
-    json.header({"bench", "cells", "refs_per_cell", "threads",
+    json.header({"bench", "sanitized", "cells", "refs_per_cell",
+                 "threads",
                  "hardware_concurrency", "serial_seconds",
                  "parallel_seconds", "serial_cells_per_sec",
                  "parallel_cells_per_sec", "speedup", "reliable",
@@ -555,7 +568,8 @@ main(int argc, char **argv)
                  "cache_hit_rate", "dispatch_cells_per_sec",
                  "lease_reclaims", "worker_utilization_min",
                  "worker_utilization_max"});
-    json.row({"sweep_baseline", std::to_string(jobs.size()),
+    json.row({"sweep_baseline", TLBPF_BENCH_SANITIZED ? "true" : "false",
+              std::to_string(jobs.size()),
               std::to_string(options.refs),
               std::to_string(options.threads),
               std::to_string(hardware),

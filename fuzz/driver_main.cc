@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Standalone driver for toolchains without libFuzzer (gcc).
+ *
+ * Replays corpus files through LLVMFuzzerTestOneInput, and with
+ * --mutate runs a deterministic mutation loop over the corpus: a
+ * seeded xorshift PRNG picks a base entry and applies bit flips, byte
+ * writes, inserts, erases, duplications, truncations and two-entry
+ * splices — the classic dumb-fuzzer moves.  No coverage feedback, so
+ * it is strictly weaker than libFuzzer, but it runs under plain
+ * gcc + ASan/UBSan, it is exactly reproducible from (--seed, corpus),
+ * and before every execution the candidate input is persisted to the
+ * artifact path — so when the harness aborts, the crashing input is
+ * sitting on disk ready to be committed as a regression entry.
+ *
+ * Usage:
+ *   fuzz_x CORPUS...                      replay (regression mode)
+ *   fuzz_x --mutate N [--seed S] [--max-len L]
+ *          [--artifact PATH] CORPUS...    N mutated executions
+ *
+ * CORPUS arguments are files or directories (one level, no
+ * recursion).  Exit code 0 = every execution returned; a crash kills
+ * the process through the harness's own abort.
+ */
+
+#include "harness.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <dirent.h>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+namespace
+{
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::uint64_t
+xorshift(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+bool
+readFile(const std::string &path, Bytes &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    out.clear();
+    std::uint8_t buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0)
+        out.insert(out.end(), buf, buf + got);
+    std::fclose(file);
+    return true;
+}
+
+void
+collectCorpus(const std::string &path, std::vector<Bytes> &corpus,
+              std::vector<std::string> &names)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+        std::fprintf(stderr, "fuzz driver: cannot stat '%s'\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    if (!S_ISDIR(st.st_mode)) {
+        Bytes bytes;
+        if (readFile(path, bytes)) {
+            corpus.push_back(std::move(bytes));
+            names.push_back(path);
+        }
+        return;
+    }
+    DIR *dir = ::opendir(path.c_str());
+    if (!dir)
+        return;
+    std::vector<std::string> entries;
+    while (const dirent *entry = ::readdir(dir)) {
+        if (entry->d_name[0] == '.')
+            continue;
+        entries.push_back(path + "/" + entry->d_name);
+    }
+    ::closedir(dir);
+    // Deterministic order regardless of directory hash order.
+    std::sort(entries.begin(), entries.end());
+    for (const std::string &entry : entries) {
+        if (::stat(entry.c_str(), &st) == 0 && !S_ISDIR(st.st_mode)) {
+            Bytes bytes;
+            if (readFile(entry, bytes)) {
+                corpus.push_back(std::move(bytes));
+                names.push_back(entry);
+            }
+        }
+    }
+}
+
+void
+persistArtifact(const std::string &path, const Bytes &input)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return;
+    if (!input.empty())
+        (void)std::fwrite(input.data(), 1, input.size(), file);
+    std::fclose(file);
+}
+
+Bytes
+mutate(const std::vector<Bytes> &corpus, std::uint64_t &rng,
+       std::size_t max_len)
+{
+    Bytes out = corpus[xorshift(rng) % corpus.size()];
+    std::size_t rounds = 1 + xorshift(rng) % 8;
+    for (std::size_t r = 0; r < rounds; ++r) {
+        switch (xorshift(rng) % 7) {
+          case 0: // flip one bit
+            if (!out.empty())
+                out[xorshift(rng) % out.size()] ^=
+                    static_cast<std::uint8_t>(1u << (xorshift(rng) % 8));
+            break;
+          case 1: // overwrite one byte
+            if (!out.empty())
+                out[xorshift(rng) % out.size()] =
+                    static_cast<std::uint8_t>(xorshift(rng));
+            break;
+          case 2: // insert one byte
+            out.insert(out.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               out.empty() ? 0
+                                           : xorshift(rng) %
+                                                 (out.size() + 1)),
+                       static_cast<std::uint8_t>(xorshift(rng)));
+            break;
+          case 3: // erase one byte
+            if (!out.empty())
+                out.erase(out.begin() +
+                          static_cast<std::ptrdiff_t>(xorshift(rng) %
+                                                      out.size()));
+            break;
+          case 4: { // duplicate a short span
+            if (out.empty())
+                break;
+            std::size_t at = xorshift(rng) % out.size();
+            std::size_t len = std::min<std::size_t>(
+                1 + xorshift(rng) % 16, out.size() - at);
+            Bytes span(out.begin() +
+                           static_cast<std::ptrdiff_t>(at),
+                       out.begin() +
+                           static_cast<std::ptrdiff_t>(at + len));
+            out.insert(out.begin() +
+                           static_cast<std::ptrdiff_t>(at),
+                       span.begin(), span.end());
+            break;
+          }
+          case 5: // truncate
+            if (!out.empty())
+                out.resize(xorshift(rng) % out.size());
+            break;
+          case 6: { // splice: head of this, tail of another entry
+            const Bytes &other =
+                corpus[xorshift(rng) % corpus.size()];
+            if (other.empty())
+                break;
+            std::size_t head =
+                out.empty() ? 0 : xorshift(rng) % out.size();
+            std::size_t tail = xorshift(rng) % other.size();
+            out.resize(head);
+            out.insert(out.end(),
+                       other.begin() +
+                           static_cast<std::ptrdiff_t>(tail),
+                       other.end());
+            break;
+          }
+        }
+    }
+    if (out.size() > max_len)
+        out.resize(max_len);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t iterations = 0;
+    std::uint64_t seed = 1;
+    std::size_t max_len = 4096;
+    std::string artifact = "fuzz_cur_input";
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "fuzz driver: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--mutate")
+            iterations = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed")
+            seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--max-len")
+            max_len = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--artifact")
+            artifact = value();
+        else
+            paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--mutate N] [--seed S] [--max-len L] "
+                     "[--artifact PATH] CORPUS...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::vector<Bytes> corpus;
+    std::vector<std::string> names;
+    for (const std::string &path : paths)
+        collectCorpus(path, corpus, names);
+    if (corpus.empty()) {
+        std::fprintf(stderr, "fuzz driver: empty corpus\n");
+        return 2;
+    }
+
+    // Replay first: the committed corpus (seeds + past crashes) must
+    // pass before mutation starts — this is the regression gate.
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        persistArtifact(artifact, corpus[i]);
+        (void)LLVMFuzzerTestOneInput(
+            corpus[i].empty() ? nullptr : corpus[i].data(),
+            corpus[i].size());
+    }
+    std::fprintf(stderr, "fuzz driver: replayed %zu corpus entries\n",
+                 corpus.size());
+
+    std::uint64_t rng = seed ? seed : 1;
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        Bytes input = mutate(corpus, rng, max_len);
+        persistArtifact(artifact, input);
+        (void)LLVMFuzzerTestOneInput(
+            input.empty() ? nullptr : input.data(), input.size());
+        if ((i + 1) % 100000 == 0)
+            std::fprintf(stderr, "fuzz driver: %llu/%llu mutations\n",
+                         static_cast<unsigned long long>(i + 1),
+                         static_cast<unsigned long long>(iterations));
+    }
+    if (iterations)
+        std::fprintf(stderr,
+                     "fuzz driver: %llu mutations, no crashes\n",
+                     static_cast<unsigned long long>(iterations));
+    std::remove(artifact.c_str());
+    return 0;
+}

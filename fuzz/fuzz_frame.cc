@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fuzz target: the framed-JSON wire layer and every protocol verb.
+ *
+ * Attack surface: a network peer controls the raw byte stream the
+ * server and worker sessions read — the 4-byte length prefix, the
+ * frame payload, and the JSON message inside it.  The harness pushes
+ * the input through a real pipe (the framing tests' transport), then
+ * routes each decoded message through the same strict decoders the
+ * server and client dispatch on, covering both the client verbs
+ * (sweep/stats/cell/done) and the dispatch-subsystem worker verbs
+ * (worker_hello/lease/cell_result/...).  std::invalid_argument is a
+ * hostile frame, TransportError a dead peer; both are expected.
+ */
+
+#include "harness.hh"
+
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "dispatch/dispatch_protocol.hh"
+#include "service/protocol.hh"
+
+namespace
+{
+
+/** The server/client/worker dispatch tables, flattened. */
+void
+routeMessage(const tlbpf::JsonValue &message, const std::string &type)
+{
+    using namespace tlbpf;
+    if (type == "sweep") {
+        SweepRequest request = SweepRequest::decode(message);
+        try {
+            (void)request.expand(); // parses every spec string
+        } catch (const std::invalid_argument &) {
+        }
+    } else if (type == "cell") {
+        CellReply reply = CellReply::decode(message);
+        (void)reply.toResult();
+    } else if (type == "done") {
+        (void)DoneReply::decode(message);
+    } else if (type == "stats") {
+        (void)StatsReply::decode(message);
+    } else if (type == "worker_hello") {
+        (void)WorkerHello::decode(message);
+    } else if (type == "worker_welcome") {
+        (void)WorkerWelcome::decode(message);
+    } else if (type == "lease_grant") {
+        (void)LeaseGrant::decode(message);
+    } else if (type == "lease") {
+        (void)decodeLeaseRequest(message);
+    } else if (type == "heartbeat") {
+        (void)decodeHeartbeat(message);
+    } else if (type == "cell_result") {
+        (void)CellResultMsg::decode(message);
+    } else if (type == "result_ok") {
+        (void)decodeResultAck(message);
+    }
+    // Unknown types: the server answers with an error frame; nothing
+    // to decode here.
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    // A pipe buffer holds 64 KiB; writing more before anyone reads
+    // would deadlock this single-threaded harness.  Real frames of
+    // interest are far smaller.
+    if (size > 60000)
+        return 0;
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        return 0;
+    {
+        std::size_t wrote = 0;
+        while (wrote < size) {
+            ssize_t n =
+                ::write(fds[1], data + wrote, size - wrote);
+            if (n <= 0)
+                break;
+            wrote += static_cast<std::size_t>(n);
+        }
+    }
+    ::close(fds[1]); // EOF terminates the frame stream
+
+    try {
+        tlbpf::JsonValue message;
+        std::string type;
+        while (tlbpf::readMessage(fds[0], message, type))
+            routeMessage(message, type);
+    } catch (const std::invalid_argument &) {
+        // Hostile frame: the session answers with an error frame.
+    } catch (const tlbpf::TransportError &) {
+        // Truncated mid-frame: the peer is simply gone.
+    }
+    ::close(fds[0]);
+    return 0;
+}

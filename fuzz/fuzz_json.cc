@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fuzz target: the service protocol's strict JSON parser.
+ *
+ * Attack surface: JsonValue::parse() consumes every byte a network
+ * peer puts in a frame.  The harness parses, then walks the whole
+ * tree through the typed accessors (including the exact-u64 re-parse
+ * of number text), so a malformed value that *parsed* but violates an
+ * accessor invariant is exercised too.  std::invalid_argument is the
+ * documented rejection; any crash, hang, or other exception is a bug.
+ */
+
+#include "harness.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "service/json.hh"
+
+namespace
+{
+
+void
+walk(const tlbpf::JsonValue &value, int depth)
+{
+    using tlbpf::JsonValue;
+    if (depth > 80)
+        return;
+    switch (value.kind()) {
+      case JsonValue::Kind::Bool:
+        (void)value.asBool();
+        break;
+      case JsonValue::Kind::Number:
+        (void)value.asDouble();
+        try {
+            (void)value.asU64(); // throws on sign/fraction/overflow
+        } catch (const std::invalid_argument &) {
+        }
+        break;
+      case JsonValue::Kind::String:
+        (void)value.asString();
+        break;
+      case JsonValue::Kind::Array:
+        for (const JsonValue &item : value.asArray())
+            walk(item, depth + 1);
+        break;
+      case JsonValue::Kind::Object:
+        for (const std::string &key : value.keys()) {
+            (void)value.find(key);
+            walk(value.at(key), depth + 1);
+        }
+        break;
+      case JsonValue::Kind::Null:
+        break;
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        tlbpf::JsonValue value = tlbpf::JsonValue::parse(text);
+        walk(value, 0);
+    } catch (const std::invalid_argument &) {
+        // The strict parser's documented rejection path.
+    }
+    return 0;
+}

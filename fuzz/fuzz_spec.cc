@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fuzz target: the WorkloadSpec / MechanismSpec string grammars.
+ *
+ * Attack surface: both spec parsers consume strings straight off the
+ * service protocol (sweep request arrays) and the CLI.  Beyond
+ * crash-freedom the harness checks the round-trip laws the cache
+ * keying depends on:
+ *
+ *   WorkloadSpec:  parse(label(parse(s))) has the same label
+ *   MechanismSpec: parse(canonical(parse(s))) has the same canonical
+ *                  form, and parse(label(parse(s))) the same too
+ *                  (labels never lose information — PR 4's contract)
+ *
+ * A spec that parses but breaks a round-trip would give one
+ * experiment two cache identities (or two experiments one), so the
+ * harness aborts on it like any crash.
+ */
+
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "prefetch/mech_spec.hh"
+#include "workload/workload_spec.hh"
+
+namespace
+{
+
+[[noreturn]] void
+roundTripFailure(const char *what, const std::string &input,
+                 const std::string &first, const std::string &second)
+{
+    std::fprintf(stderr,
+                 "%s round-trip violated for input '%s': "
+                 "'%s' re-parsed as '%s'\n",
+                 what, input.c_str(), first.c_str(), second.c_str());
+    std::abort();
+}
+
+void
+checkWorkload(const std::string &text)
+{
+    tlbpf::WorkloadSpec spec = tlbpf::WorkloadSpec::parse(text);
+    std::string label = spec.label();
+    tlbpf::WorkloadSpec again = tlbpf::WorkloadSpec::parse(label);
+    if (again.label() != label)
+        roundTripFailure("WorkloadSpec label", text, label,
+                         again.label());
+}
+
+void
+checkMechanism(const std::string &text)
+{
+    tlbpf::MechanismSpec spec = tlbpf::MechanismSpec::parse(text);
+    std::string canonical = spec.canonical();
+    tlbpf::MechanismSpec again = tlbpf::MechanismSpec::parse(canonical);
+    if (again.canonical() != canonical)
+        roundTripFailure("MechanismSpec canonical", text, canonical,
+                         again.canonical());
+    std::string label = spec.label();
+    tlbpf::MechanismSpec legend = tlbpf::MechanismSpec::parse(label);
+    if (legend.canonical() != canonical)
+        roundTripFailure("MechanismSpec label", text, label,
+                         legend.canonical());
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        checkWorkload(text);
+    } catch (const std::invalid_argument &) {
+        // Rejected spec strings are the expected common case.
+    }
+    try {
+        checkMechanism(text);
+    } catch (const std::invalid_argument &) {
+    }
+    return 0;
+}

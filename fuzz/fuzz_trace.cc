@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fuzz target: the binary .tpf trace decoder.
+ *
+ * Attack surface: TraceReader decodes untrusted files named by
+ * `trace:` workload specs — header fields, varint deltas, record
+ * framing.  The harness materializes the input as a file (the reader
+ * API is path-based by design), drains it through the same
+ * nextBatch() path the simulator uses, and resets mid-stream the way
+ * shard warm-up does.  ErrorPolicy::Throw turns every malformation
+ * into std::invalid_argument; a crash or unbounded loop is a bug.
+ */
+
+#include "harness.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+/** One scratch path per process, rewritten every input. */
+const std::string &
+scratchPath()
+{
+    static const std::string path = [] {
+        const char *dir = std::getenv("TMPDIR");
+        return std::string(dir && *dir ? dir : "/tmp") +
+               "/tlbpf_fuzz_trace." + std::to_string(::getpid()) +
+               ".tpf";
+    }();
+    return path;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string &path = scratchPath();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        return 0;
+    if (size > 0 && std::fwrite(data, 1, size, file) != size) {
+        std::fclose(file);
+        return 0;
+    }
+    std::fclose(file);
+
+    // The cheap validity probe must agree with the reader: a file the
+    // probe passes must construct, and one it rejects must throw.
+    std::string probe = tlbpf::probeTraceFile(path);
+    try {
+        tlbpf::TraceReader reader(
+            path, tlbpf::TraceReader::ErrorPolicy::Throw);
+        if (!probe.empty()) {
+            std::fprintf(stderr,
+                         "probe rejected ('%s') what TraceReader "
+                         "accepted\n",
+                         probe.c_str());
+            std::abort();
+        }
+        tlbpf::MemRef block[64];
+        std::size_t drained = 0;
+        while (std::size_t got = reader.nextBatch(block, 64)) {
+            drained += got;
+            if (drained > (1u << 22))
+                break; // plenty; keep the per-input budget bounded
+        }
+        // Shard warm-up resets positioned streams; decode again after
+        // a reset to cover the buffered-reader rewind path.
+        reader.reset();
+        (void)reader.nextBatch(block, 64);
+    } catch (const std::invalid_argument &) {
+        // Malformed traces are the expected rejection.
+    }
+    return 0;
+}

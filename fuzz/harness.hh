@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared declaration for the fuzz harnesses.
+ *
+ * Every harness defines the standard libFuzzer entry point; how it
+ * gets driven depends on the toolchain the build found:
+ *
+ *  - clang with libFuzzer: the harness links -fsanitize=fuzzer and
+ *    the runtime's own main() does coverage-guided mutation (the CI
+ *    fuzz job's bounded smoke).
+ *  - any other compiler (the dev container bakes in gcc only): the
+ *    harness links driver_main.cc, which replays corpus files and
+ *    optionally runs a deterministic mutation loop — weaker than
+ *    libFuzzer but enough to shake out parser crashes locally under
+ *    ASan/UBSan, and exactly reproducible from its seed.
+ *
+ * A harness must return 0, must not leak, and must treat
+ * std::invalid_argument as the *expected* rejection path — anything
+ * else reaching the top is a finding.
+ */
+
+#ifndef TLBPF_FUZZ_HARNESS_HH
+#define TLBPF_FUZZ_HARNESS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+#endif // TLBPF_FUZZ_HARNESS_HH

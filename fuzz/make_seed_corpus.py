@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Regenerate the committed seed corpora under fuzz/corpus/.
+
+The seeds are valid (or near-valid) inputs for each harness so that
+mutation starts from deep in each parser's grammar instead of from
+random bytes.  Run from the repo root.
+"""
+
+import json
+import os
+import shutil
+import struct
+
+BASE = "fuzz/corpus"
+
+COUNTERS = {
+    "refs": 1000, "misses": 40, "pb_hits": 12, "demand_fetches": 28,
+    "prefetches_issued": 30, "prefetches_suppressed": 2,
+    "state_ops": 60, "pb_evicted_unused": 5, "footprint_pages": 128,
+    "context_switches": 0,
+}
+CONFIG = {
+    "tlb_entries": 64, "tlb_assoc": 4, "pb_entries": 16,
+    "page_bytes": 4096, "train_on_all_refs": False,
+    "context_switch_interval": 0,
+}
+SWEEP = {
+    "type": "sweep", "workloads": ["mcf", "mix:mcf+gcc@1k"],
+    "mechanisms": ["dp", "hybrid(dp+sp)"], "refs": 5000,
+    "mode": "functional", "shards": 2, "shard_warmup": "replay",
+    "pass_mode": "multi", "config": CONFIG,
+}
+
+JSON_SEEDS = {
+    "sweep": SWEEP,
+    "nested": {"a": [1, [2, [3, [4, {"b": [None, True, False]}]]]],
+               "c": {"d": {"e": {"f": "g"}}}},
+    "numbers": [0, -1, 18446744073709551615, 1.5, -2.25e-3, 1e308,
+                123456789012345678901234567890],
+    "strings": ["", "plain", "esc \" \\ / \b \f \n \r \t",
+                "unicode é € \U0001f600"],
+    "scalars": True,
+}
+
+SPEC_SEEDS = {
+    "app": "mcf",
+    "app_prefixed": "app:mcf",
+    "trace": "trace:path/to/run.tpf",
+    "mix": "mix:mcf+gcc@100k",
+    "mix_trace": "mix:mcf+trace:x.tpf@5000",
+    "shard": "mcf#2/8",
+    "dp_params": "dp(rows=256,assoc=dm,slots=2)",
+    "mp_params": "mp(rows=1024,assoc=2w)",
+    "asp": "asp(assoc=fa)",
+    "sp_degree": "sp(degree=3)",
+    "asq": "sp(adaptive)",
+    "rp": "rp(reach=2)",
+    "hybrid": "hybrid(dp+sp)",
+    "label_dp": "DP,256,D",
+    "alias": "markov",
+}
+
+
+def frame(*docs):
+    out = b""
+    for doc in docs:
+        payload = json.dumps(doc).encode()
+        out += struct.pack("<I", len(payload)) + payload
+    return out
+
+
+FRAME_SEEDS = {
+    "ping": frame({"type": "ping"}),
+    "sweep": frame(SWEEP),
+    "stats_then_shutdown": frame({"type": "stats"},
+                                 {"type": "shutdown"}),
+    "worker_hello": frame({"type": "worker_hello", "protocol": 1,
+                           "threads": 2}),
+    "worker_welcome": frame({"type": "worker_welcome", "worker": 7,
+                             "heartbeat_ms": 500}),
+    "lease": frame({"type": "lease", "worker": 7}),
+    "heartbeat": frame({"type": "heartbeat", "worker": 7}),
+    "lease_grant": frame({"type": "lease_grant", "lease": 3,
+                          "chain": False,
+                          "jobs": [{"workload": "mcf",
+                                    "mechanism": "DP,256,D",
+                                    "refs": 1000,
+                                    "config": CONFIG}]}),
+    "cell_result": frame({"type": "cell_result", "lease": 3,
+                          "results": [{"workload": "mcf",
+                                       "mechanism": "DP,256,D",
+                                       "counters": COUNTERS}]}),
+    "result_ok": frame({"type": "result_ok", "accepted": True}),
+    "cell_reply": frame({"type": "cell", "index": 0,
+                         "workload": "mcf", "mechanism": "DP,256,D",
+                         "mode": "functional", "cached": False,
+                         "counters": COUNTERS}),
+    "done": frame({"type": "done", "cells": 4, "cache_hits": 1,
+                   "simulated": 3}),
+    "truncated": frame({"type": "ping"})[:6],
+    # kMaxFrameBytes is an inclusive limit; the first rejected
+    # length is one past it.
+    "oversize_prefix": struct.pack("<I", 0x04000001) + b"x" * 16,
+}
+
+
+def main():
+    for sub in ("json", "spec", "trace", "frame"):
+        os.makedirs(os.path.join(BASE, sub), exist_ok=True)
+
+    for name, doc in JSON_SEEDS.items():
+        with open(f"{BASE}/json/{name}.json", "w") as f:
+            f.write(json.dumps(doc))
+    with open(f"{BASE}/json/null.json", "w") as f:
+        f.write("null")
+
+    for name, text in SPEC_SEEDS.items():
+        with open(f"{BASE}/spec/{name}.txt", "w") as f:
+            f.write(text)
+
+    shutil.copyfile("tests/data/sample.tpf",
+                    f"{BASE}/trace/sample.tpf")
+    with open("tests/data/sample.tpf", "rb") as f:
+        sample = f.read()
+    with open(f"{BASE}/trace/truncated.tpf", "wb") as f:
+        f.write(sample[:64])
+    with open(f"{BASE}/trace/magic_only.tpf", "wb") as f:
+        f.write(b"TPFT")
+    with open(f"{BASE}/trace/empty.tpf", "wb") as f:
+        f.write(b"")
+
+    for name, blob in FRAME_SEEDS.items():
+        with open(f"{BASE}/frame/{name}.bin", "wb") as f:
+            f.write(blob)
+
+    for sub in ("json", "spec", "trace", "frame"):
+        files = sorted(os.listdir(f"{BASE}/{sub}"))
+        print(f"{sub}: {len(files)} seeds: {files}")
+
+
+if __name__ == "__main__":
+    main()

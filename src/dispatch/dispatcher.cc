@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hh"
+
 namespace tlbpf
 {
 
@@ -122,6 +124,14 @@ Dispatcher::lease(std::uint64_t worker, LeaseGrant &out)
     state.granted = now;
     state.deadline = now + leaseWindow(_options);
     _counters.leasesGranted += 1;
+    // Grant-shape invariants: the payload the worker must send back
+    // is one result per job, so the recorded jobCount has to match
+    // what crossed the wire, and a chain is never block-filled.
+    TLBPF_DCHECK(!out.jobs.empty());
+    TLBPF_DCHECK_MSG(state.jobCount == out.jobs.size(),
+                     "lease ", out.lease, " records ", state.jobCount,
+                     " jobs but grants ", out.jobs.size());
+    TLBPF_DCHECK(!out.chain || state.units.size() == 1);
     return true;
 }
 
@@ -162,6 +172,12 @@ Dispatcher::completeLease(std::uint64_t lease,
         offset += unit.count;
         finishUnit(*batch, unit, std::move(slice));
     }
+    // The jobCount equality checked above guarantees the unit slices
+    // tile the payload exactly; a remainder would mean a unit was
+    // reclaimed out from under a live lease entry.
+    TLBPF_DCHECK_MSG(offset == results.size(),
+                     "lease ", lease, " units consumed ", offset,
+                     " of ", results.size(), " results");
     {
         std::lock_guard<std::mutex> lock(_mutex);
         batch->finishers -= 1;
@@ -238,6 +254,10 @@ Dispatcher::finishUnit(Batch &batch, const Unit &unit,
     // Fold the unit's shard windows into its pre-expansion cell via
     // the engine's own reduce step, so a remotely-run chain merges
     // byte-identically to runSharded().
+    TLBPF_DCHECK_MSG(unit.group < batch.merged.size(),
+                     "unit group ", unit.group, " outside a batch of ",
+                     batch.merged.size(), " groups");
+    TLBPF_DCHECK(unit.first + unit.count <= batch.plan->jobs.size());
     ShardPlan sub;
     sub.jobs.assign(batch.plan->jobs.begin() + unit.first,
                     batch.plan->jobs.begin() + unit.first + unit.count);
@@ -245,6 +265,14 @@ Dispatcher::finishUnit(Batch &batch, const Unit &unit,
     std::vector<SweepResult> merged = mergeShardResults(sub, results);
     {
         std::lock_guard<std::mutex> lock(_mutex);
+        // Every group resolves exactly once; overshooting means a
+        // reclaimed lease's result was integrated after the local
+        // re-run — double completion (the emitter would also catch
+        // the slot, but this names the lease machinery directly).
+        TLBPF_DCHECK_MSG(batch.groupsDone < batch.merged.size(),
+                         "group completion overshoots: ",
+                         batch.groupsDone + 1, " of ",
+                         batch.merged.size());
         batch.merged[unit.group] = std::move(merged.front());
         batch.groupsDone += 1;
     }
@@ -376,6 +404,13 @@ Dispatcher::runBatch(const ShardPlan &plan, ShardWarmup warmup,
         // still be inside completeLease() emitting its last results;
         // the batch (and its emitter) must outlive that.
         _cv.wait(lock, [&] { return batch.finishers == 0; });
+        // Drain postcondition: every group resolved (completed or
+        // failed) and no unit left behind in the queue.
+        TLBPF_DCHECK_MSG(batch.groupsDone == batch.merged.size(),
+                         "batch drained with ", batch.groupsDone,
+                         " of ", batch.merged.size(),
+                         " groups resolved");
+        TLBPF_DCHECK(batch.queue.empty() || batch.failed);
         _batch = nullptr;
         // Any lease still out refers to units the batch already
         // resolved (its holder went quiet and was reclaimed past the

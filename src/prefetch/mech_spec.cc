@@ -859,13 +859,13 @@ MechanismRegistry::add(MechanismEntry entry)
     if (entry.shortName.empty())
         entry.shortName = entry.name;
     std::string key = lowered(entry.name);
-    if (_entries.count(key) || _aliases.count(key))
+    if (_entries.contains(key) || _aliases.contains(key))
         throw std::invalid_argument("mechanism name '" + entry.name +
                                     "' is already registered");
     for (const auto &[alias, target] : entry.aliases) {
         (void)target;
         std::string akey = lowered(alias);
-        if (_entries.count(akey) || _aliases.count(akey))
+        if (_entries.contains(akey) || _aliases.contains(akey))
             throw std::invalid_argument(
                 "mechanism alias '" + alias + "' of '" + entry.name +
                 "' is already registered");
@@ -900,7 +900,7 @@ MechanismRegistry::aliasExpansion(const std::string &name) const
         return nullptr;
     // Plain renames are handled by find(); only parameterised
     // expansions need the spec-string path.
-    if (_entries.count(lowered(alias->second)))
+    if (_entries.contains(lowered(alias->second)))
         return nullptr;
     return &alias->second;
 }

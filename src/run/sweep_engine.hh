@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "run/job.hh"
+#include "util/check.hh"
 #include "util/thread_pool.hh"
 
 namespace tlbpf
@@ -383,15 +384,35 @@ class OrderedEmitter
     void
     complete(std::size_t start, std::size_t count)
     {
-        if (!_cb)
+        // Without a callback nothing observes the frontier, so plain
+        // Release skips the bookkeeping entirely; checking builds
+        // still track completions so the invariants below stay armed.
+        if (!_cb && !dchecksEnabled())
             return;
         std::lock_guard<std::mutex> lock(_mutex);
-        for (std::size_t k = 0; k < count; ++k)
+        TLBPF_DCHECK_MSG(start <= _done.size() &&
+                             count <= _done.size() - start,
+                         "completion [", start, ", ", start + count,
+                         ") overruns a batch of ", _done.size());
+        for (std::size_t k = 0; k < count; ++k) {
+            // A slot completing twice means some cell was computed
+            // (and would be delivered) twice — the double-counting
+            // the dispatcher's lease discard exists to prevent.
+            TLBPF_DCHECK_MSG(!_done[start + k],
+                             "slot ", start + k, " completed twice");
             _done[start + k] = 1;
+        }
+        std::size_t before = _frontier;
         while (_frontier < _done.size() && _done[_frontier]) {
-            _cb(_frontier, _results[_frontier]);
+            if (_cb)
+                _cb(_frontier, _results[_frontier]);
             ++_frontier;
         }
+        // The frontier only ever advances (delivery order is the
+        // submission order); regression would re-deliver a result.
+        TLBPF_DCHECK_MSG(_frontier >= before,
+                         "emission frontier regressed from ", before,
+                         " to ", _frontier);
     }
 
   private:

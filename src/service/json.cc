@@ -140,7 +140,7 @@ class JsonParser
             if (peek() != '"')
                 jsonFail(_at, "object key must be a string");
             std::string key = parseString();
-            if (value._members.count(key))
+            if (value._members.contains(key))
                 jsonFail(key_at, "duplicate object key '" + key + "'");
             skipSpace();
             expect(':');

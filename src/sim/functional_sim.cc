@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/bits.hh"
+#include "util/check.hh"
 
 namespace tlbpf
 {
@@ -221,6 +222,15 @@ FunctionalSimulator::restore(const SimState &state)
         _prefetcher->restoreState(in);
     if (!in.atEnd())
         SnapshotReader::fail("trailing bytes after checkpoint");
+    // The whole checkpoint design rests on restore() being the exact
+    // inverse of snapshot(): shard chains and the persistent store
+    // both assume a restored simulator re-serializes to the same
+    // bytes.  A component whose restoreState() loses state (a rebuilt
+    // index that reorders, an LRU clock that resets) would silently
+    // skew every downstream window; catch it at the boundary.
+    TLBPF_DCHECK_MSG(snapshot().bytes == state.bytes,
+                     "restore() is not the inverse of snapshot() for "
+                     "mechanism '", _mechLabel, "'");
 }
 
 SimResult
@@ -351,6 +361,12 @@ simulateWindowFrom(const SimConfig &config, const MechanismSpec &spec,
     std::uint64_t processed = 0;
     simulateUpTo(sim, stream, take, processed);
     SimResult delta = counterDelta(sim.result(), start);
+    // Window attribution: every reference fed in this window — and
+    // none from the restored prefix — lands in the delta, or sharded
+    // merges would drift from the unsharded run.
+    TLBPF_DCHECK_MSG(delta.refs == processed,
+                     "window of ", processed, " refs recorded ",
+                     delta.refs, " in its counter delta");
     if (end_state)
         *end_state = sim.snapshot();
     return delta;

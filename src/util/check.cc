@@ -1,0 +1,67 @@
+#include "util/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tlbpf
+{
+
+namespace detail
+{
+
+namespace
+{
+
+[[noreturn]] void
+abortingHandler(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "%s:%d: %s\n", file, line, msg.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+CheckFailHandler g_handler = nullptr;
+
+} // namespace
+
+CheckFailHandler
+setCheckFailHandler(CheckFailHandler handler)
+{
+    CheckFailHandler previous = g_handler;
+    g_handler = handler;
+    return previous;
+}
+
+void
+checkFail(const char *file, int line, const std::string &msg)
+{
+    if (g_handler)
+        g_handler(file, line, msg);
+    abortingHandler(file, line, msg);
+}
+
+} // namespace detail
+
+namespace
+{
+
+[[noreturn]] void
+throwingHandler(const char *file, int line, const std::string &msg)
+{
+    throw CheckFailure(std::string(file) + ":" + std::to_string(line) +
+                       ": " + msg);
+}
+
+} // namespace
+
+ScopedCheckFailThrow::ScopedCheckFailThrow()
+    : _previous(detail::setCheckFailHandler(&throwingHandler))
+{
+}
+
+ScopedCheckFailThrow::~ScopedCheckFailThrow()
+{
+    detail::setCheckFailHandler(_previous);
+}
+
+} // namespace tlbpf

@@ -44,7 +44,7 @@ CliArgs::CliArgs(int argc, const char *const *argv,
 bool
 CliArgs::has(const std::string &name) const
 {
-    return _options.count(name) > 0;
+    return _options.contains(name);
 }
 
 std::string

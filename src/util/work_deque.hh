@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/check.hh"
+
 namespace tlbpf
 {
 
@@ -74,6 +76,16 @@ class WorkDeque
     push(std::size_t index)
     {
         std::int64_t b = _bottom.load(std::memory_order_relaxed);
+        // Seeding-time contract: reset() ran, and the batch fits the
+        // ring — overflowing the ring would silently overwrite the
+        // oldest unclaimed index and lose a job.
+        TLBPF_DCHECK_MSG(!_ring.empty(),
+                         "push on a WorkDeque that was never reset");
+        TLBPF_DCHECK_MSG(
+            static_cast<std::size_t>(
+                b - _top.load(std::memory_order_relaxed)) <
+                _ring.size(),
+            "push overflows the ring capacity of ", _ring.size());
         _ring[static_cast<std::size_t>(b) & _mask] = index;
         _bottom.store(b + 1, std::memory_order_relaxed);
     }
@@ -100,6 +112,12 @@ class WorkDeque
             bool won = _top.compare_exchange_strong(
                 t, t + 1, std::memory_order_seq_cst,
                 std::memory_order_relaxed);
+            // Losing the race means a thief advanced top past our
+            // claim; top at or below b here would mean the element
+            // was handed out twice (the one-element race invariant).
+            TLBPF_DCHECK_MSG(won || t > b,
+                             "lost the one-element race but top ", t,
+                             " never passed bottom claim ", b);
             _bottom.store(b + 1, std::memory_order_relaxed);
             return won;
         }

@@ -122,6 +122,13 @@ parsePart(const std::string &text, const std::string &whole,
         if (scheme == "app") {
             if (rest.empty())
                 malformed(whole, "app: needs a model name");
+            // A ':' inside the name would make the label ambiguous
+            // with the scheme grammar ("app:app:x" labels as "app:x"
+            // which re-parses as the app "x") — found by fuzz_spec's
+            // round-trip check.
+            if (rest.find(':') != std::string::npos)
+                malformed(whole, "app name '" + rest +
+                                     "' cannot contain ':'");
             spec = WorkloadSpec::app(rest);
         } else if (scheme == "trace") {
             if (rest.empty())

@@ -35,6 +35,7 @@
 #include "service/protocol.hh"
 #include "service/server.hh"
 #include "service/store_util.hh"
+#include "util/check.hh"
 
 namespace tlbpf
 {
@@ -354,6 +355,143 @@ TEST(Dispatcher, ExpiredLeaseResultIsDiscardedNotDoubleCounted)
     std::vector<SweepResult> direct = engine.run(jobs);
     for (std::size_t i = 0; i < direct.size(); ++i)
         EXPECT_EQ(results[i].functional, direct[i].functional);
+    dispatcher.unregisterWorker(worker);
+}
+
+/**
+ * The OrderedEmitter sits between the dispatcher and the caller's
+ * callback: results may complete in any order, but delivery is
+ * submission order, and the TLBPF_DCHECK layer guards the two ways
+ * that contract can rot — double completion and range overrun.
+ */
+TEST(OrderedEmitter, DeliversSubmissionOrderAcrossAnyCompletionOrder)
+{
+    std::vector<SweepResult> results(4);
+    std::vector<std::size_t> order;
+    SweepEngine::ResultCallback cb =
+        [&](std::size_t i, const SweepResult &) {
+            order.push_back(i);
+        };
+    OrderedEmitter emitter(cb, results);
+    emitter.complete(2, 1);
+    emitter.complete(3, 1);
+    EXPECT_TRUE(order.empty()); // slot 0 still pending
+    emitter.complete(0, 1);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 0u);
+    emitter.complete(1, 1); // releases the whole held-back tail
+    ASSERT_EQ(order.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(OrderedEmitter, DoubleCompletionTripsTheInvariant)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    ScopedCheckFailThrow guard;
+    std::vector<SweepResult> results(3);
+    SweepEngine::ResultCallback cb;
+    OrderedEmitter emitter(cb, results);
+    emitter.complete(1, 1);
+    // Completing the same slot again is the double-accounting the
+    // dispatcher's lease-discard path exists to prevent.
+    EXPECT_THROW(emitter.complete(1, 1), CheckFailure);
+    // Overlap through a range hits the same wall.
+    EXPECT_THROW(emitter.complete(0, 2), CheckFailure);
+}
+
+TEST(OrderedEmitter, CompletionBeyondTheBatchTripsTheInvariant)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    ScopedCheckFailThrow guard;
+    std::vector<SweepResult> results(4);
+    SweepEngine::ResultCallback cb;
+    OrderedEmitter emitter(cb, results);
+    EXPECT_THROW(emitter.complete(3, 2), CheckFailure);
+    EXPECT_THROW(emitter.complete(5, 0), CheckFailure);
+    emitter.complete(3, 1); // the in-range suffix is still fine
+}
+
+/**
+ * A result for a reclaimed lease must take the graceful discard path
+ * (completeLease == false) and never reach the emitter — whose
+ * double-completion DCHECK stays armed throughout to prove it.  The
+ * wrong-size payload on a live lease is the protocol-level rejection
+ * (invalid_argument), not an invariant failure.
+ */
+TEST(Dispatcher, ReclaimedLeaseCompletionIsDiscardedNotDoubleEmitted)
+{
+    ScopedCheckFailThrow guard; // any stray DCHECK becomes a throw
+    SweepEngine engine(2);
+    DispatcherOptions options;
+    options.leaseTimeoutMs = 150; // expire fast; never heartbeat
+    Dispatcher dispatcher(engine, options);
+
+    std::vector<SweepJob> jobs =
+        functionalGrid({"gcc", "mcf"}, {"rp", "dp"}, kSlowRefs);
+    ShardPlan plan = singletonPlan(jobs);
+
+    std::uint64_t worker = dispatcher.registerWorker(1);
+    std::atomic<bool> batch_done{false};
+    std::atomic<std::uint64_t> streamed{0};
+    std::thread batch([&] {
+        (void)dispatcher.runBatch(
+            plan, ShardWarmup::Replay, PassMode::PerMechanism,
+            [&](std::size_t, const SweepResult &) {
+                streamed.fetch_add(1);
+            });
+        batch_done.store(true);
+    });
+
+    LeaseGrant grant;
+    ASSERT_TRUE(leaseSoon(dispatcher, worker, grant, batch_done));
+    batch.join(); // the deadline passes; the batch drains locally
+    EXPECT_GE(dispatcher.counters().leaseReclaims, 1u);
+
+    // A correctly-shaped payload for the reclaimed lease: discarded,
+    // and the emitter (already fully completed once) never sees it.
+    std::vector<SweepResult> late(grant.jobs.size());
+    EXPECT_FALSE(
+        dispatcher.completeLease(grant.lease, std::move(late)));
+    EXPECT_EQ(streamed.load(), jobs.size());
+    dispatcher.unregisterWorker(worker);
+}
+
+TEST(Dispatcher, WrongSizedPayloadOnALiveLeaseIsRejected)
+{
+    SweepEngine engine(2);
+    DispatcherOptions options;
+    options.leaseTimeoutMs = 60000; // stays live for the whole test
+    Dispatcher dispatcher(engine, options);
+
+    std::vector<SweepJob> jobs =
+        functionalGrid({"gcc", "mcf"}, {"rp", "dp"}, kSlowRefs);
+    ShardPlan plan = singletonPlan(jobs);
+
+    std::uint64_t worker = dispatcher.registerWorker(1);
+    std::atomic<bool> batch_done{false};
+    std::thread batch([&] {
+        (void)dispatcher.runBatch(
+            plan, ShardWarmup::Replay, PassMode::PerMechanism,
+            SweepEngine::ResultCallback());
+        batch_done.store(true);
+    });
+
+    LeaseGrant grant;
+    ASSERT_TRUE(leaseSoon(dispatcher, worker, grant, batch_done));
+    std::vector<SweepResult> short_payload(grant.jobs.size() - 1);
+    EXPECT_THROW(
+        dispatcher.completeLease(grant.lease,
+                                 std::move(short_payload)),
+        std::invalid_argument);
+    // The lease is still live after the rejection; the real payload
+    // completes it normally.
+    std::vector<SweepResult> payload(grant.jobs.size());
+    EXPECT_TRUE(
+        dispatcher.completeLease(grant.lease, std::move(payload)));
+    batch.join();
     dispatcher.unregisterWorker(worker);
 }
 

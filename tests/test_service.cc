@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <dirent.h>
@@ -178,6 +179,54 @@ TEST(Framing, OversizedLengthPrefixIsRejected)
     EXPECT_THROW(writeFrame(writer.fd(),
                             std::string(kMaxFrameBytes + 1, 'x')),
                  std::invalid_argument);
+}
+
+/**
+ * Fuzz-corpus regressions (tests/data/fuzz_regressions/): hostile
+ * byte streams from the fuzz_frame corpus, replayed through the same
+ * pipe transport.  Each must end in the documented rejection —
+ * TransportError for a peer that vanished mid-frame,
+ * invalid_argument for a hostile prefix — and never anything else.
+ */
+TEST(Framing, FuzzRegressionStreamsFailTheDocumentedWay)
+{
+    struct Case {
+        const char *file;
+        bool transport; // else invalid_argument
+    };
+    for (const Case &c :
+         {Case{"frame_truncated_header.bin", true},
+          Case{"frame_oversize_prefix.bin", false}}) {
+        std::string bytes;
+        {
+            std::string path = std::string(TLBPF_TEST_DATA_DIR) +
+                               "/fuzz_regressions/" + c.file;
+            std::FILE *f = std::fopen(path.c_str(), "rb");
+            ASSERT_NE(f, nullptr) << c.file;
+            int ch;
+            while ((ch = std::fgetc(f)) != EOF)
+                bytes.push_back(static_cast<char>(ch));
+            std::fclose(f);
+        }
+        ASSERT_FALSE(bytes.empty()) << c.file;
+        int fds[2];
+        ASSERT_EQ(::pipe(fds), 0);
+        OwnedFd reader(fds[0]), writer(fds[1]);
+        ASSERT_EQ(::write(writer.fd(), bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()));
+        writer.close();
+        JsonValue message;
+        std::string type;
+        auto drain = [&] {
+            while (readMessage(reader.fd(), message, type)) {
+            }
+        };
+        if (c.transport) {
+            EXPECT_THROW(drain(), TransportError) << c.file;
+        } else {
+            EXPECT_THROW(drain(), std::invalid_argument) << c.file;
+        }
+    }
 }
 
 TEST(Framing, GarbageJsonIsRejectedByReadMessage)

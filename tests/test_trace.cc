@@ -422,6 +422,37 @@ TEST_F(TraceFileTest, TruncatedRecordThrowsUnderThrowPolicy)
     EXPECT_THROW(reader.next(r), std::invalid_argument);
 }
 
+/**
+ * Fuzz-corpus regressions (tests/data/fuzz_regressions/): hostile
+ * .tpf files from the fuzz_trace corpus must keep failing the same
+ * way the harness demands — the cheap probe and the throwing reader
+ * agree, and a decode attempt raises invalid_argument rather than
+ * crashing or returning silent garbage.
+ */
+TEST(TraceFuzzRegressions, HostileFilesAreRejectedNotDecoded)
+{
+    for (const char *name :
+         {"trace_truncated.tpf", "trace_magic_only.tpf"}) {
+        std::string path = std::string(TLBPF_TEST_DATA_DIR) +
+                           "/fuzz_regressions/" + name;
+        std::string probe = probeTraceFile(path);
+        bool rejected = false;
+        try {
+            TraceReader reader(path,
+                               TraceReader::ErrorPolicy::Throw);
+            EXPECT_EQ(probe, "")
+                << name
+                << ": the probe rejected what the reader accepted";
+            MemRef r;
+            while (reader.next(r)) {
+            }
+        } catch (const std::invalid_argument &) {
+            rejected = true;
+        }
+        EXPECT_TRUE(rejected) << name << " decoded without an error";
+    }
+}
+
 TEST_F(TraceFileTest, NextBatchMatchesNextAndInterleaves)
 {
     std::vector<MemRef> refs;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/bits.hh"
+#include "util/check.hh"
 #include "util/cli.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
@@ -377,6 +378,134 @@ TEST(WorkDeque, ConcurrentStealsConsumeEveryIndexExactlyOnce)
         for (std::size_t i = 0; i < kElems; ++i)
             ASSERT_EQ(hits[i].load(), 1u)
                 << "index " << i << " in round " << round;
+        EXPECT_TRUE(dq.empty());
+    }
+}
+
+// ------------------------------------- TLBPF_DCHECK invariant layer
+
+TEST(Check, PassingChecksAreSilent)
+{
+    ScopedCheckFailThrow guard;
+    TLBPF_DCHECK(1 + 1 == 2);
+    TLBPF_DCHECK_MSG(true, "never formatted");
+}
+
+/**
+ * The compiled-out form must not evaluate its condition (so a DCHECK
+ * can never perturb Release behavior); the compiled-in form must.
+ */
+TEST(Check, ConditionEvaluationMatchesBuildFlavor)
+{
+    int evaluations = 0;
+    TLBPF_DCHECK((++evaluations, true));
+    EXPECT_EQ(evaluations, dchecksEnabled() ? 1 : 0);
+}
+
+TEST(Check, FailureCarriesExpressionMessageAndLocation)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    ScopedCheckFailThrow guard;
+    try {
+        TLBPF_DCHECK_MSG(2 + 2 == 5, "math is ", "broken");
+        FAIL() << "the check never fired";
+    } catch (const CheckFailure &failure) {
+        std::string what = failure.what();
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("math is broken"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("test_util.cc"), std::string::npos) << what;
+    }
+}
+
+TEST(Check, ScopedThrowRestoresThePreviousHandlerOnExit)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    {
+        ScopedCheckFailThrow outer;
+        {
+            ScopedCheckFailThrow inner;
+            EXPECT_THROW(TLBPF_DCHECK(false), CheckFailure);
+        }
+        // The outer scope's throwing handler is back in place.
+        EXPECT_THROW(TLBPF_DCHECK(false), CheckFailure);
+    }
+}
+
+/**
+ * Seeding-time contract violations the scheduler must never commit:
+ * pushing into a deque that was never sized, and pushing more than
+ * the reset() capacity (which would silently overwrite an unclaimed
+ * index and lose a job).
+ */
+TEST(WorkDeque, PushBeforeResetTripsTheInvariant)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    ScopedCheckFailThrow guard;
+    WorkDeque dq;
+    EXPECT_THROW(dq.push(0), CheckFailure);
+}
+
+TEST(WorkDeque, PushBeyondResetCapacityTripsTheInvariant)
+{
+    if (!dchecksEnabled())
+        GTEST_SKIP() << "TLBPF_DCHECK is compiled out of this build";
+    ScopedCheckFailThrow guard;
+    WorkDeque dq;
+    dq.reset(4); // ring rounds up to exactly 4 slots
+    for (std::size_t i = 0; i < 4; ++i)
+        dq.push(i);
+    EXPECT_THROW(dq.push(4), CheckFailure);
+    // Draining frees the slots again; refilling is legal.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < 4; ++i)
+        ASSERT_TRUE(dq.pop(out));
+    dq.reset(4);
+    dq.push(0);
+}
+
+/**
+ * The one-element owner-vs-thief race, re-run many times with the
+ * checking handler installed: exactly one side may win, and the
+ * pop-side invariant (a lost CAS means top passed the claim) must
+ * hold in every interleaving.
+ */
+TEST(WorkDeque, OneElementRaceHasExactlyOneWinnerUnderChecking)
+{
+    ScopedCheckFailThrow guard;
+    WorkDeque dq;
+    std::atomic<int> check_failures{0};
+    for (int round = 0; round < 2000; ++round) {
+        dq.reset(1);
+        dq.push(static_cast<std::size_t>(round));
+
+        std::atomic<bool> go{false};
+        bool thief_won = false;
+        std::thread thief([&] {
+            std::size_t out = 0;
+            while (!go.load())
+                std::this_thread::yield();
+            try {
+                thief_won = dq.steal(out);
+            } catch (const CheckFailure &) {
+                check_failures.fetch_add(1);
+            }
+        });
+        std::size_t out = 0;
+        bool owner_won = false;
+        go.store(true);
+        try {
+            owner_won = dq.pop(out);
+        } catch (const CheckFailure &) {
+            check_failures.fetch_add(1);
+        }
+        thief.join();
+
+        ASSERT_EQ(check_failures.load(), 0) << "round " << round;
+        ASSERT_NE(owner_won, thief_won) << "round " << round;
         EXPECT_TRUE(dq.empty());
     }
 }

@@ -45,6 +45,42 @@ TEST(WorkloadSpecParse, AppPrefixIsSugarForBareName)
     EXPECT_EQ(WorkloadSpec::parse("app:mcf").label(), "mcf");
 }
 
+/**
+ * Regression from fuzz_spec (the committed crashing input lives in
+ * tests/data/fuzz_regressions/): 'app:app:m=2w)' used to parse as an
+ * app literally named "app:m=2w)", whose label re-parsed as the app
+ * "m=2w)" — one experiment, two result-cache identities.  App names
+ * may not contain the scheme separator.
+ */
+TEST(WorkloadSpecParse, FuzzRegressionAppNamesWithColonsAreRejected)
+{
+    std::string input;
+    {
+        std::FILE *f = std::fopen(
+            (std::string(TLBPF_TEST_DATA_DIR) +
+             "/fuzz_regressions/spec_app_colon_label_roundtrip.txt")
+                .c_str(),
+            "rb");
+        ASSERT_NE(f, nullptr);
+        int c;
+        while ((c = std::fgetc(f)) != EOF)
+            input.push_back(static_cast<char>(c));
+        std::fclose(f);
+    }
+    ASSERT_FALSE(input.empty());
+    EXPECT_THROW(WorkloadSpec::parse(input), std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::parse("app:app:mcf"),
+                 std::invalid_argument);
+    // The legitimate spellings still parse, with stable labels.
+    EXPECT_EQ(WorkloadSpec::parse("app:mcf").label(), "mcf");
+    // (the quantum canonicalizes to "5k"; the label must be a fixed
+    // point of parse → label)
+    const std::string canonical =
+        WorkloadSpec::parse("mix:mcf+trace:x.tpf@5000").label();
+    EXPECT_EQ(canonical, "mix:mcf+trace:x.tpf@5k");
+    EXPECT_EQ(WorkloadSpec::parse(canonical).label(), canonical);
+}
+
 TEST(WorkloadSpecParse, TraceSpec)
 {
     WorkloadSpec spec = WorkloadSpec::parse("trace:path/to/run.tpf");
